@@ -1,0 +1,130 @@
+//! Predicted-vs-measured work analysis: does the §III complexity argument
+//! hold on the wall clock? For each dataset we compare the *predicted*
+//! vertex/net work ratio of the first iteration against the *measured*
+//! round-1 coloring-time ratio of `V-V-64D` vs `N1-N2`.
+
+use bgpc::Schedule;
+use graph::Ordering;
+use serde::Serialize;
+
+use crate::report::{f2, TextTable};
+use crate::sweep::{bgpc_graph, bgpc_order, run_bgpc_once};
+use crate::ReproConfig;
+
+/// One predicted-vs-measured row.
+#[derive(Clone, Debug, Serialize)]
+pub struct AnalysisRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// `Σ|vtxs(v)|²` — vertex-based first-iteration work.
+    pub vertex_work: u64,
+    /// `|V_B| + pins` — net-based phase work.
+    pub net_work: u64,
+    /// Predicted vertex/net ratio.
+    pub predicted_ratio: f64,
+    /// Measured round-1 coloring-time ratio (vertex schedule / net
+    /// schedule).
+    pub measured_ratio: f64,
+    /// Fraction of `V-V-64D` runtime spent in round 1 (paper: 78% avg).
+    pub first_round_fraction: f64,
+    /// Coefficient of variation of vertex-based task sizes (§VIII).
+    pub cv_vertex: f64,
+    /// Coefficient of variation of net-based task sizes.
+    pub cv_net: f64,
+    /// SIMT (warp-32) efficiency of vertex tasks.
+    pub warp_eff_vertex: f64,
+    /// SIMT (warp-32) efficiency of net tasks.
+    pub warp_eff_net: f64,
+}
+
+/// Runs the analysis over the configured datasets.
+pub fn predicted_vs_measured(cfg: &ReproConfig) -> (String, Vec<AnalysisRow>) {
+    let t = cfg.max_threads();
+    let mut table = TextTable::new(&[
+        "Matrix", "vertex work", "net work", "predicted", "measured", "round-1 frac",
+        "CV v/n", "warp32 eff v/n",
+    ]);
+    let mut rows = Vec::new();
+    for &dataset in &cfg.datasets {
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+
+        let vertex_work = bgpc::analysis::sum_net_size_squared(&g);
+        let net_work = bgpc::analysis::net_phase_work(&g);
+        let predicted = bgpc::analysis::work_ratio_first_iteration(&g);
+
+        let (_, vres) =
+            run_bgpc_once(dataset, &g, &order, "natural", &Schedule::v_v_64d(), t, cfg.reps);
+        let (_, nres) =
+            run_bgpc_once(dataset, &g, &order, "natural", &Schedule::n1_n2(), t, cfg.reps);
+        let v1 = vres.iterations[0].color_time.as_secs_f64();
+        let n1 = nres.iterations[0].color_time.as_secs_f64();
+        let measured = if n1 > 0.0 { v1 / n1 } else { f64::NAN };
+        let frac = bgpc::analysis::time_fraction_first_k(&vres, 1);
+        let tv = bgpc::analysis::task_sizes_vertex(&g);
+        let tn = bgpc::analysis::task_sizes_net(&g);
+        let cv_vertex = bgpc::analysis::coefficient_of_variation(&tv);
+        let cv_net = bgpc::analysis::coefficient_of_variation(&tn);
+        let warp_eff_vertex = bgpc::analysis::warp_efficiency(&tv, 32);
+        let warp_eff_net = bgpc::analysis::warp_efficiency(&tn, 32);
+
+        table.row(vec![
+            dataset.name().to_string(),
+            vertex_work.to_string(),
+            net_work.to_string(),
+            f2(predicted),
+            f2(measured),
+            f2(frac),
+            format!("{cv_vertex:.2}/{cv_net:.2}"),
+            format!("{warp_eff_vertex:.2}/{warp_eff_net:.2}"),
+        ]);
+        rows.push(AnalysisRow {
+            dataset: dataset.name().to_string(),
+            vertex_work,
+            net_work,
+            predicted_ratio: predicted,
+            measured_ratio: measured,
+            first_round_fraction: frac,
+            cv_vertex,
+            cv_net,
+            warp_eff_vertex,
+            warp_eff_net,
+        });
+    }
+    (table.render(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::Dataset;
+
+    #[test]
+    fn analysis_rows_are_consistent() {
+        let cfg = ReproConfig {
+            scale: 0.002,
+            seed: 1,
+            threads: vec![2],
+            datasets: vec![Dataset::CoPapersDblp, Dataset::Channel],
+            reps: 1,
+        };
+        let (text, rows) = predicted_vs_measured(&cfg);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.predicted_ratio > 0.0);
+            assert!(row.vertex_work >= row.net_work || row.predicted_ratio < 1.0);
+            assert!(row.first_round_fraction > 0.0 && row.first_round_fraction <= 1.0);
+        }
+        // power-law instance must predict a bigger win than the mesh
+        let copapers = &rows[0];
+        let channel = &rows[1];
+        assert!(
+            copapers.predicted_ratio > channel.predicted_ratio,
+            "heavy-tailed nets should favor net-based phases more: {} vs {}",
+            copapers.predicted_ratio,
+            channel.predicted_ratio
+        );
+        assert!(text.contains("coPapersDBLP"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Harness configuration.
+
+use sparse::Dataset;
+
+/// Shared knobs for every experiment.
+#[derive(Clone, Debug)]
+pub struct ReproConfig {
+    /// Instance scale relative to the paper's full sizes (DESIGN.md §4).
+    pub scale: f64,
+    /// RNG seed for instance generation.
+    pub seed: u64,
+    /// Thread counts to sweep (the paper uses 1, 2, 4, 8, 16).
+    pub threads: Vec<usize>,
+    /// Datasets to include.
+    pub datasets: Vec<Dataset>,
+    /// Repetitions per measurement (minimum wall time is reported, the
+    /// usual protocol for coloring kernels).
+    pub reps: usize,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.01,
+            seed: 20170814, // ICPP'17 presentation date
+            threads: vec![1, 2, 4, 8, 16],
+            datasets: Dataset::ALL.to_vec(),
+            reps: 1,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// Parses CLI-style flags (`--scale X`, `--seed N`, `--threads a,b,c`,
+    /// `--datasets name,name`, `--reps N`), ignoring anything else.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("missing value after {}", args[i]))
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    cfg.scale = take(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    i += 2;
+                }
+                "--seed" => {
+                    cfg.seed = take(i)?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                    i += 2;
+                }
+                "--reps" => {
+                    cfg.reps = take(i)?.parse().map_err(|e| format!("bad --reps: {e}"))?;
+                    i += 2;
+                }
+                "--threads" => {
+                    cfg.threads = take(i)?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("bad thread: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    i += 2;
+                }
+                "--datasets" => {
+                    cfg.datasets = take(i)?
+                        .split(',')
+                        .map(|s| {
+                            Dataset::from_name(s.trim())
+                                .ok_or_else(|| format!("unknown dataset `{s}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    i += 2;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if cfg.threads.is_empty() || cfg.datasets.is_empty() {
+            return Err("threads and datasets must be non-empty".into());
+        }
+        Ok(cfg)
+    }
+
+    /// The symmetric subset of the configured datasets (D2GC experiments).
+    pub fn d2gc_datasets(&self) -> Vec<Dataset> {
+        self.datasets
+            .iter()
+            .copied()
+            .filter(|d| d.symmetric())
+            .collect()
+    }
+
+    /// Largest configured thread count.
+    pub fn max_threads(&self) -> usize {
+        self.threads.iter().copied().max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = ReproConfig::default();
+        assert_eq!(cfg.threads, vec![1, 2, 4, 8, 16]);
+        assert_eq!(cfg.datasets.len(), 8);
+        assert_eq!(cfg.d2gc_datasets().len(), 5);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let cfg = ReproConfig::from_args(&s(&[
+            "--scale", "0.05", "--threads", "1,4", "--datasets", "bone010,channel", "--seed",
+            "7", "--reps", "3",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.scale, 0.05);
+        assert_eq!(cfg.threads, vec![1, 4]);
+        assert_eq!(cfg.datasets, vec![Dataset::Bone010, Dataset::Channel]);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.reps, 3);
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        assert!(ReproConfig::from_args(&s(&["--nope"])).is_err());
+        assert!(ReproConfig::from_args(&s(&["--scale"])).is_err());
+        assert!(ReproConfig::from_args(&s(&["--datasets", "zzz"])).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Distributed-framework comparison: the BSP baseline (related-work
+//! systems the paper builds on) versus the shared-memory schedules —
+//! rounds, message volume, and colors across rank counts and partitions.
+
+use dist::{DistRunner, Partition};
+use graph::Ordering;
+use serde::Serialize;
+
+
+use crate::report::{f2, TextTable};
+use crate::sweep::{bgpc_graph, bgpc_order};
+use crate::ReproConfig;
+
+/// One distributed run record.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Partition strategy.
+    pub partition: String,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Supersteps to convergence.
+    pub rounds: usize,
+    /// Total boundary messages.
+    pub messages: usize,
+    /// Boundary fraction of the partition.
+    pub boundary: f64,
+    /// Colors used.
+    pub colors: usize,
+    /// Colors used by the sequential baseline (same order).
+    pub seq_colors: usize,
+}
+
+/// Sweeps rank counts and partition strategies over the configured
+/// datasets.
+pub fn dist_sweep(cfg: &ReproConfig) -> (String, Vec<DistRow>) {
+    let mut table = TextTable::new(&[
+        "Matrix", "Partition", "ranks", "rounds", "messages", "boundary", "#colors", "seq #colors",
+    ]);
+    let mut rows = Vec::new();
+    for &dataset in &cfg.datasets {
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+        let (_, seq_colors) = bgpc::seq::color_bgpc_seq(&g, &order);
+        for &ranks in &cfg.threads {
+            for (name, partition) in [
+                ("block", Partition::block(g.n_vertices(), ranks)),
+                ("cyclic", Partition::cyclic(g.n_vertices(), ranks)),
+            ] {
+                let runner = DistRunner::new(&g, partition);
+                let boundary = runner.boundary_fraction();
+                let r = runner.run();
+                bgpc::verify::verify_bgpc(&g, &r.colors).unwrap_or_else(|e| {
+                    panic!("dist {name}/{ranks} on {}: {e}", dataset.name())
+                });
+                table.row(vec![
+                    dataset.name().to_string(),
+                    name.to_string(),
+                    ranks.to_string(),
+                    r.rounds().to_string(),
+                    r.total_messages().to_string(),
+                    f2(boundary),
+                    r.num_colors.to_string(),
+                    seq_colors.to_string(),
+                ]);
+                rows.push(DistRow {
+                    dataset: dataset.name().to_string(),
+                    partition: name.to_string(),
+                    ranks,
+                    rounds: r.rounds(),
+                    messages: r.total_messages(),
+                    boundary,
+                    colors: r.num_colors,
+                    seq_colors,
+                });
+            }
+        }
+    }
+    (table.render(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::Dataset;
+
+    #[test]
+    fn dist_sweep_produces_grid() {
+        let cfg = ReproConfig {
+            scale: 0.002,
+            seed: 1,
+            threads: vec![1, 4],
+            datasets: vec![Dataset::AfShell10],
+            reps: 1,
+        };
+        let (text, rows) = dist_sweep(&cfg);
+        assert_eq!(rows.len(), 4); // 2 rank counts × 2 partitions
+        assert!(text.contains("cyclic"));
+        // single rank: 1 round, 0 messages
+        let single: Vec<&DistRow> = rows.iter().filter(|r| r.ranks == 1).collect();
+        assert!(single.iter().all(|r| r.rounds == 1 && r.messages == 0));
+        // block partition of a banded matrix has a small boundary
+        let block4 = rows
+            .iter()
+            .find(|r| r.ranks == 4 && r.partition == "block")
+            .unwrap();
+        let cyclic4 = rows
+            .iter()
+            .find(|r| r.ranks == 4 && r.partition == "cyclic")
+            .unwrap();
+        assert!(block4.boundary < cyclic4.boundary);
+    }
+}

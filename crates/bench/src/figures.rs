@@ -1,0 +1,205 @@
+//! Regeneration of the paper's Figures 1–3 (as data series; the paper's
+//! plots are bar/line charts over exactly these numbers).
+
+use bgpc::verify::ColorClassStats;
+use bgpc::{Balance, Schedule};
+use graph::Ordering;
+use serde::Serialize;
+use sparse::Dataset;
+
+use crate::report::{f2, TextTable};
+use crate::sweep::{bgpc_graph, bgpc_order, run_bgpc_once, RunRecord};
+use crate::ReproConfig;
+
+/// One per-iteration sample of Figure 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure1Point {
+    /// Schedule name.
+    pub schedule: String,
+    /// 1-based round number.
+    pub round: usize,
+    /// Coloring-phase time (ms).
+    pub color_ms: f64,
+    /// Conflict-removal time (ms).
+    pub conflict_ms: f64,
+    /// Queue size entering the round.
+    pub queue_in: usize,
+}
+
+/// Figure 1 — per-iteration phase times of six schedules on the
+/// coPapersDBLP analogue at the maximum thread count.
+pub fn figure1(cfg: &ReproConfig) -> (String, Vec<Figure1Point>) {
+    let dataset = Dataset::CoPapersDblp;
+    let inst = dataset.build(cfg.scale, cfg.seed);
+    let g = bgpc_graph(&inst);
+    let order = bgpc_order(&g, Ordering::Natural);
+    let t = cfg.max_threads();
+    let schedules = [
+        Schedule::v_v_64d(),
+        Schedule::v_n_inf(),
+        Schedule::v_n(1),
+        Schedule::v_n(2),
+        Schedule::n1_n2(),
+        Schedule::n2_n2(),
+    ];
+    let mut table = TextTable::new(&[
+        "Algorithm", "Round", "Coloring ms", "Conf.Removal ms", "|W|",
+    ]);
+    let mut points = Vec::new();
+    for schedule in schedules {
+        let (_, res) = run_bgpc_once(dataset, &g, &order, "natural", &schedule, t, cfg.reps);
+        for m in res.iterations.iter().take(5) {
+            let p = Figure1Point {
+                schedule: schedule.name(),
+                round: m.iter + 1,
+                color_ms: m.color_time.as_secs_f64() * 1e3,
+                conflict_ms: m.conflict_time.as_secs_f64() * 1e3,
+                queue_in: m.queue_in,
+            };
+            table.row(vec![
+                p.schedule.clone(),
+                p.round.to_string(),
+                f2(p.color_ms),
+                f2(p.conflict_ms),
+                p.queue_in.to_string(),
+            ]);
+            points.push(p);
+        }
+    }
+    (table.render(), points)
+}
+
+/// Figure 2 — execution time and color count for every schedule, dataset
+/// and thread count (the data behind the paper's eight subplots).
+pub fn figure2(cfg: &ReproConfig) -> (String, Vec<RunRecord>) {
+    let mut table = TextTable::new(&["Matrix", "Algorithm", "t", "time ms", "#colors"]);
+    let mut records = Vec::new();
+    for &dataset in &cfg.datasets {
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+        for schedule in Schedule::all() {
+            for &t in &cfg.threads {
+                let (rec, _) =
+                    run_bgpc_once(dataset, &g, &order, "natural", &schedule, t, cfg.reps);
+                table.row(vec![
+                    rec.dataset.clone(),
+                    rec.schedule.clone(),
+                    t.to_string(),
+                    f2(rec.time_ms),
+                    rec.colors.to_string(),
+                ]);
+                records.push(rec);
+            }
+        }
+    }
+    (table.render(), records)
+}
+
+/// One distribution of Figure 3.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure3Series {
+    /// Schedule + balance name (`V-N2-B1`, …).
+    pub name: String,
+    /// Number of color classes.
+    pub num_classes: usize,
+    /// Class-size standard deviation.
+    pub std_dev: f64,
+    /// Largest class.
+    pub max: usize,
+    /// Smallest (non-empty) class.
+    pub min: usize,
+    /// Class cardinalities sorted in non-increasing order (the plotted
+    /// curve).
+    pub sorted_cardinalities: Vec<usize>,
+}
+
+/// Figure 3 — color-set cardinality distributions of V-N2 and N1-N2 under
+/// U/B1/B2 on the coPapersDBLP analogue.
+pub fn figure3(cfg: &ReproConfig) -> (String, Vec<Figure3Series>) {
+    let dataset = Dataset::CoPapersDblp;
+    let inst = dataset.build(cfg.scale, cfg.seed);
+    let g = bgpc_graph(&inst);
+    let order = bgpc_order(&g, Ordering::Natural);
+    let t = cfg.max_threads();
+    let mut table = TextTable::new(&["Series", "#classes", "min", "max", "std dev"]);
+    let mut series = Vec::new();
+    for base in [Schedule::v_n(2), Schedule::n1_n2()] {
+        for balance in [Balance::Unbalanced, Balance::B1, Balance::B2] {
+            let schedule = base.clone().with_balance(balance);
+            let (_, res) = run_bgpc_once(dataset, &g, &order, "natural", &schedule, t, cfg.reps);
+            let stats = ColorClassStats::from_colors(&res.colors);
+            let name = if balance == Balance::Unbalanced {
+                format!("{}-U", schedule.name())
+            } else {
+                schedule.name()
+            };
+            table.row(vec![
+                name.clone(),
+                stats.num_classes.to_string(),
+                stats.min.to_string(),
+                stats.max.to_string(),
+                f2(stats.std_dev),
+            ]);
+            series.push(Figure3Series {
+                name,
+                num_classes: stats.num_classes,
+                std_dev: stats.std_dev,
+                max: stats.max,
+                min: stats.min,
+                sorted_cardinalities: stats.sorted_cardinalities(),
+            });
+        }
+    }
+    (table.render(), series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ReproConfig {
+        ReproConfig {
+            scale: 0.002,
+            seed: 1,
+            threads: vec![1, 2],
+            datasets: vec![Dataset::CoPapersDblp],
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn figure1_produces_rounds_for_six_schedules() {
+        let (text, points) = figure1(&tiny_cfg());
+        let schedules: std::collections::HashSet<&str> =
+            points.iter().map(|p| p.schedule.as_str()).collect();
+        assert_eq!(schedules.len(), 6);
+        assert!(points.iter().all(|p| p.round >= 1 && p.round <= 5));
+        assert!(text.contains("N1-N2"));
+    }
+
+    #[test]
+    fn figure2_covers_grid() {
+        let cfg = tiny_cfg();
+        let (_, records) = figure2(&cfg);
+        assert_eq!(records.len(), 8 * cfg.threads.len());
+    }
+
+    #[test]
+    fn figure3_balancing_reduces_spread() {
+        let (_, series) = figure3(&tiny_cfg());
+        assert_eq!(series.len(), 6);
+        // Paper's claim: B2 reduces the class-size std dev vs U.
+        let u = &series[0];
+        let b2 = &series[2];
+        assert!(
+            b2.std_dev <= u.std_dev * 1.05,
+            "B2 std dev {} should not exceed U {}",
+            b2.std_dev,
+            u.std_dev
+        );
+        // Distribution covers all vertices.
+        let total: usize = u.sorted_cardinalities.iter().sum();
+        assert_eq!(total, Dataset::CoPapersDblp.build(0.002, 1).matrix.ncols());
+    }
+}

@@ -1,0 +1,213 @@
+//! Single-run and sweep primitives shared by every table/figure.
+
+use std::time::Duration;
+
+use bgpc::verify::{verify_bgpc, verify_d2gc};
+use bgpc::{ColoringResult, Schedule};
+use graph::{BipartiteGraph, Graph, Ordering};
+use par::Pool;
+use serde::Serialize;
+use sparse::{Dataset, Instance};
+
+/// One measured coloring run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Schedule name (with balance suffix).
+    pub schedule: String,
+    /// Ordering label.
+    pub ordering: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Problem: "bgpc" or "d2gc".
+    pub problem: String,
+    /// Total coloring wall time in milliseconds (best of `reps`).
+    pub time_ms: f64,
+    /// Distinct colors used.
+    pub colors: usize,
+    /// Speculative iterations executed.
+    pub rounds: usize,
+    /// `|W_next|` after the first iteration.
+    pub remaining_after_first: usize,
+}
+
+/// Builds the bipartite view of an instance (rows = nets, columns are
+/// colored).
+pub fn bgpc_graph(inst: &Instance) -> BipartiteGraph {
+    BipartiteGraph::from_matrix(&inst.matrix)
+}
+
+/// Builds the unipartite view of a symmetric instance.
+pub fn d2gc_graph(inst: &Instance) -> Graph {
+    Graph::from_symmetric_matrix(&inst.matrix)
+}
+
+/// Runs one BGPC configuration `reps` times, verifying validity each time,
+/// and returns the best-time record plus the last result.
+pub fn run_bgpc_once(
+    dataset: Dataset,
+    g: &BipartiteGraph,
+    order: &[u32],
+    ordering_label: &str,
+    schedule: &Schedule,
+    threads: usize,
+    reps: usize,
+) -> (RunRecord, ColoringResult) {
+    let pool = Pool::new(threads);
+    let mut best: Option<ColoringResult> = None;
+    for _ in 0..reps.max(1) {
+        let r = bgpc::color_bgpc(g, order, schedule, &pool);
+        verify_bgpc(g, &r.colors).unwrap_or_else(|e| {
+            panic!("invalid {} coloring on {}: {e}", schedule.name(), dataset.name())
+        });
+        let better = best
+            .as_ref()
+            .map(|b| r.total_time < b.total_time)
+            .unwrap_or(true);
+        if better {
+            best = Some(r);
+        }
+    }
+    let result = best.unwrap();
+    let record = RunRecord {
+        dataset: dataset.name().to_string(),
+        schedule: schedule.name(),
+        ordering: ordering_label.to_string(),
+        threads,
+        problem: "bgpc".to_string(),
+        time_ms: as_ms(result.total_time),
+        colors: result.num_colors,
+        rounds: result.rounds(),
+        remaining_after_first: result.remaining_after_first(),
+    };
+    (record, result)
+}
+
+/// Runs one D2GC configuration, verifying validity.
+pub fn run_d2gc_once(
+    dataset: Dataset,
+    g: &Graph,
+    order: &[u32],
+    ordering_label: &str,
+    schedule: &Schedule,
+    threads: usize,
+    reps: usize,
+) -> (RunRecord, ColoringResult) {
+    let pool = Pool::new(threads);
+    let mut best: Option<ColoringResult> = None;
+    for _ in 0..reps.max(1) {
+        let r = bgpc::d2gc::color_d2gc(g, order, schedule, &pool);
+        verify_d2gc(g, &r.colors).unwrap_or_else(|e| {
+            panic!("invalid {} d2gc on {}: {e}", schedule.name(), dataset.name())
+        });
+        let better = best
+            .as_ref()
+            .map(|b| r.total_time < b.total_time)
+            .unwrap_or(true);
+        if better {
+            best = Some(r);
+        }
+    }
+    let result = best.unwrap();
+    let record = RunRecord {
+        dataset: dataset.name().to_string(),
+        schedule: schedule.name(),
+        ordering: ordering_label.to_string(),
+        threads,
+        problem: "d2gc".to_string(),
+        time_ms: as_ms(result.total_time),
+        colors: result.num_colors,
+        rounds: result.rounds(),
+        remaining_after_first: result.remaining_after_first(),
+    };
+    (record, result)
+}
+
+/// Sequential BGPC baseline time and color count.
+pub fn bgpc_sequential(g: &BipartiteGraph, order: &[u32]) -> (f64, usize) {
+    let t = std::time::Instant::now();
+    let (_, k) = bgpc::seq::color_bgpc_seq(g, order);
+    (as_ms(t.elapsed()), k)
+}
+
+/// Sequential D2GC baseline time and color count.
+pub fn d2gc_sequential(g: &Graph, order: &[u32]) -> (f64, usize) {
+    let t = std::time::Instant::now();
+    let (_, k) = bgpc::seq::color_d2gc_seq(g, order);
+    (as_ms(t.elapsed()), k)
+}
+
+/// Builds an order for the bipartite problem by label.
+pub fn bgpc_order(g: &BipartiteGraph, ordering: Ordering) -> Vec<u32> {
+    ordering.vertex_order_bgpc(g)
+}
+
+fn as_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Geometric mean of positive values (the paper aggregates per-matrix
+/// speedups this way).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.002;
+
+    #[test]
+    fn bgpc_run_record_is_consistent() {
+        let inst = Dataset::CoPapersDblp.build(SCALE, 3);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+        let (rec, res) = run_bgpc_once(
+            inst.dataset,
+            &g,
+            &order,
+            "natural",
+            &Schedule::n1_n2(),
+            2,
+            1,
+        );
+        assert_eq!(rec.colors, res.num_colors);
+        assert_eq!(rec.problem, "bgpc");
+        assert!(rec.time_ms >= 0.0);
+        assert!(rec.colors >= g.max_net_size());
+    }
+
+    #[test]
+    fn d2gc_run_record_is_consistent() {
+        let inst = Dataset::Nlpkkt120.build(SCALE, 3);
+        let g = d2gc_graph(&inst);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let (rec, res) =
+            run_d2gc_once(inst.dataset, &g, &order, "natural", &Schedule::v_n(1), 2, 1);
+        assert_eq!(rec.colors, res.num_colors);
+        assert_eq!(rec.problem, "d2gc");
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn sequential_baselines_run() {
+        let inst = Dataset::AfShell10.build(SCALE, 3);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+        let (ms, k) = bgpc_sequential(&g, &order);
+        assert!(ms >= 0.0);
+        assert!(k >= g.max_net_size());
+    }
+}

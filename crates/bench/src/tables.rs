@@ -1,0 +1,454 @@
+//! Regeneration of the paper's Tables I–VI.
+
+use bgpc::net::NetColoringVariant;
+use bgpc::verify::ColorClassStats;
+use bgpc::{Balance, Schedule};
+use graph::Ordering;
+use serde::Serialize;
+use sparse::Dataset;
+
+use crate::report::{f2, TextTable};
+use crate::sweep::{
+    bgpc_graph, bgpc_order, bgpc_sequential, d2gc_graph, d2gc_sequential, geomean,
+    run_bgpc_once, run_d2gc_once, RunRecord,
+};
+use crate::ReproConfig;
+
+/// Table I — remaining `|W_next|` after the first iteration for the three
+/// net-coloring variants, on the bone010 and coPapersDBLP analogues.
+pub fn table1(cfg: &ReproConfig) -> (String, Vec<RunRecord>) {
+    let t = cfg.max_threads();
+    let variants = [
+        ("Alg. 6", NetColoringVariant::SinglePassFirstFit),
+        ("Alg. 6 + reverse", NetColoringVariant::SinglePassReverse),
+        ("Alg. 8", NetColoringVariant::TwoPassReverse),
+    ];
+    let mut table = TextTable::new(&["Matrix-Graph", "|V_B|", "Alg. 6", "Alg. 6 + reverse", "Alg. 8"]);
+    let mut records = Vec::new();
+    for dataset in [Dataset::Bone010, Dataset::CoPapersDblp] {
+        if !cfg.datasets.contains(&dataset) {
+            continue;
+        }
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+        let mut cells = vec![dataset.name().to_string(), g.n_nets().to_string()];
+        for (_, variant) in variants {
+            let schedule = Schedule::n1_n2().with_net_variant(variant);
+            let (rec, _) = run_bgpc_once(dataset, &g, &order, "natural", &schedule, t, cfg.reps);
+            cells.push(rec.remaining_after_first.to_string());
+            records.push(rec);
+        }
+        table.row(cells);
+    }
+    (table.render(), records)
+}
+
+/// One Table II row: generated-instance properties plus sequential BGPC
+/// results for both orderings, with the paper's values alongside.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Generated rows/cols/nnz.
+    pub rows: usize,
+    /// Columns (colored side).
+    pub cols: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Max net size (color lower bound).
+    pub max_net: usize,
+    /// Net-size standard deviation.
+    pub std_dev: f64,
+    /// Sequential time (ms), natural order.
+    pub seq_ms_natural: f64,
+    /// Colors, natural order.
+    pub colors_natural: usize,
+    /// Sequential time (ms), smallest-last order (ordering time excluded,
+    /// as in the paper).
+    pub seq_ms_sl: f64,
+    /// Colors, smallest-last order.
+    pub colors_sl: usize,
+    /// Paper's color count (natural) for comparison.
+    pub paper_colors_natural: usize,
+    /// Paper's color count (smallest-last).
+    pub paper_colors_sl: usize,
+}
+
+/// Table II — instance properties and sequential BGPC baselines.
+pub fn table2(cfg: &ReproConfig) -> (String, Vec<Table2Row>) {
+    let mut table = TextTable::new(&[
+        "Matrix", "#rows", "#cols", "#nnz", "max net", "std dev", "nat ms", "nat #col",
+        "SL ms", "SL #col", "paper nat", "paper SL",
+    ]);
+    let mut rows = Vec::new();
+    for &dataset in &cfg.datasets {
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let g = bgpc_graph(&inst);
+        let stats = sparse::DegreeStats::rows(&inst.matrix);
+        let natural = bgpc_order(&g, Ordering::Natural);
+        let (nat_ms, nat_k) = bgpc_sequential(&g, &natural);
+        let sl = bgpc_order(&g, Ordering::SmallestLast);
+        let (sl_ms, sl_k) = bgpc_sequential(&g, &sl);
+        let paper = dataset.paper();
+        let row = Table2Row {
+            dataset: dataset.name().to_string(),
+            rows: inst.matrix.nrows(),
+            cols: inst.matrix.ncols(),
+            nnz: inst.matrix.nnz(),
+            max_net: stats.max,
+            std_dev: stats.std_dev,
+            seq_ms_natural: nat_ms,
+            colors_natural: nat_k,
+            seq_ms_sl: sl_ms,
+            colors_sl: sl_k,
+            paper_colors_natural: paper.colors_natural,
+            paper_colors_sl: paper.colors_sl,
+        };
+        table.row(vec![
+            row.dataset.clone(),
+            row.rows.to_string(),
+            row.cols.to_string(),
+            row.nnz.to_string(),
+            row.max_net.to_string(),
+            f2(row.std_dev),
+            f2(row.seq_ms_natural),
+            row.colors_natural.to_string(),
+            f2(row.seq_ms_sl),
+            row.colors_sl.to_string(),
+            row.paper_colors_natural.to_string(),
+            row.paper_colors_sl.to_string(),
+        ]);
+        rows.push(row);
+    }
+    (table.render(), rows)
+}
+
+/// One speedup-table row (Tables III/IV/V format).
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeedupRow {
+    /// Schedule name.
+    pub schedule: String,
+    /// Geo-mean color count normalized to the reference schedule.
+    pub colors_vs_ref: f64,
+    /// Geo-mean speedup over the sequential baseline per thread count.
+    pub speedup_vs_seq: Vec<(usize, f64)>,
+    /// Geo-mean speedup over the parallel reference at max threads.
+    pub speedup_vs_ref_maxt: f64,
+}
+
+/// Shared engine for Tables III and IV: BGPC speedups under `ordering`,
+/// geo-means across the configured datasets. The reference schedule is
+/// `V-V` (ColPack).
+pub fn bgpc_speedup_table(
+    cfg: &ReproConfig,
+    ordering: Ordering,
+) -> (String, Vec<SpeedupRow>, Vec<RunRecord>) {
+    let schedules = Schedule::all();
+    speedup_table_impl(cfg, ordering, &schedules, 0, false)
+}
+
+/// Table V — D2GC speedups (natural order, symmetric datasets only). The
+/// reference schedule is `V-V-64D`, as in the paper.
+pub fn d2gc_speedup_table(cfg: &ReproConfig) -> (String, Vec<SpeedupRow>, Vec<RunRecord>) {
+    let schedules = Schedule::d2gc_set();
+    speedup_table_impl(cfg, Ordering::Natural, &schedules, 0, true)
+}
+
+fn speedup_table_impl(
+    cfg: &ReproConfig,
+    ordering: Ordering,
+    schedules: &[Schedule],
+    reference_idx: usize,
+    d2gc: bool,
+) -> (String, Vec<SpeedupRow>, Vec<RunRecord>) {
+    let datasets: Vec<Dataset> = if d2gc {
+        cfg.d2gc_datasets()
+    } else {
+        cfg.datasets.clone()
+    };
+    let maxt = cfg.max_threads();
+    let mut records: Vec<RunRecord> = Vec::new();
+
+    // per dataset: sequential baseline, then every schedule × thread.
+    // speedups[s][t_index][d]
+    let mut speedups = vec![vec![Vec::new(); cfg.threads.len()]; schedules.len()];
+    let mut colors_ratio = vec![Vec::new(); schedules.len()];
+    let mut vs_ref = vec![Vec::new(); schedules.len()];
+
+    for &dataset in &datasets {
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let (seq_ms, times_at_maxt, _colors) = if d2gc {
+            let g = d2gc_graph(&inst);
+            let order = ordering.vertex_order_d2(&g);
+            let (seq_ms, _) = d2gc_sequential(&g, &order);
+            let mut ref_ms = 0.0;
+            let mut per_sched_colors = Vec::new();
+            for (si, schedule) in schedules.iter().enumerate() {
+                for (ti, &t) in cfg.threads.iter().enumerate() {
+                    let (rec, _) = run_d2gc_once(
+                        dataset,
+                        &g,
+                        &order,
+                        ordering.label(),
+                        schedule,
+                        t,
+                        cfg.reps,
+                    );
+                    speedups[si][ti].push(seq_ms / rec.time_ms.max(1e-9));
+                    if t == maxt {
+                        if si == reference_idx {
+                            ref_ms = rec.time_ms;
+                        }
+                        per_sched_colors.push((si, rec.colors, rec.time_ms));
+                    }
+                    records.push(rec);
+                }
+            }
+            (seq_ms, per_sched_colors, ref_ms)
+        } else {
+            let g = bgpc_graph(&inst);
+            let order = bgpc_order(&g, ordering);
+            let (seq_ms, _) = bgpc_sequential(&g, &order);
+            let mut ref_ms = 0.0;
+            let mut per_sched_colors = Vec::new();
+            for (si, schedule) in schedules.iter().enumerate() {
+                for (ti, &t) in cfg.threads.iter().enumerate() {
+                    let (rec, _) = run_bgpc_once(
+                        dataset,
+                        &g,
+                        &order,
+                        ordering.label(),
+                        schedule,
+                        t,
+                        cfg.reps,
+                    );
+                    speedups[si][ti].push(seq_ms / rec.time_ms.max(1e-9));
+                    if t == maxt {
+                        if si == reference_idx {
+                            ref_ms = rec.time_ms;
+                        }
+                        per_sched_colors.push((si, rec.colors, rec.time_ms));
+                    }
+                    records.push(rec);
+                }
+            }
+            (seq_ms, per_sched_colors, ref_ms)
+        };
+        let _ = seq_ms;
+        // normalize colors and time against the reference schedule at maxt
+        let ref_entry = times_at_maxt
+            .iter()
+            .find(|(si, _, _)| *si == reference_idx)
+            .copied();
+        if let Some((_, ref_colors, ref_ms)) = ref_entry {
+            for (si, colors, ms) in times_at_maxt {
+                colors_ratio[si].push(colors as f64 / (ref_colors as f64).max(1.0));
+                vs_ref[si].push(ref_ms / ms.max(1e-9));
+            }
+        }
+    }
+
+    // Render.
+    let mut header: Vec<String> = vec!["Algorithm".into(), "#col vs ref".into()];
+    for &t in &cfg.threads {
+        header.push(format!("t={t}"));
+    }
+    header.push(format!("vs ref t={maxt}"));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&header_refs);
+
+    let mut rows = Vec::new();
+    for (si, schedule) in schedules.iter().enumerate() {
+        let row = SpeedupRow {
+            schedule: schedule.name(),
+            colors_vs_ref: geomean(&colors_ratio[si]),
+            speedup_vs_seq: cfg
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(ti, &t)| (t, geomean(&speedups[si][ti])))
+                .collect(),
+            speedup_vs_ref_maxt: geomean(&vs_ref[si]),
+        };
+        let mut cells = vec![row.schedule.clone(), f2(row.colors_vs_ref)];
+        for &(_, s) in &row.speedup_vs_seq {
+            cells.push(f2(s));
+        }
+        cells.push(f2(row.speedup_vs_ref_maxt));
+        table.row(cells);
+        rows.push(row);
+    }
+    (table.render(), rows, records)
+}
+
+/// One Table VI row: balance-heuristic impact, normalized to the
+/// unbalanced run of the same schedule.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table6Row {
+    /// Schedule + balance name, e.g. `V-N2-B1`.
+    pub name: String,
+    /// Coloring time normalized to the `-U` run.
+    pub time_ratio: f64,
+    /// Number of color sets normalized to `-U`.
+    pub classes_ratio: f64,
+    /// Average class cardinality normalized to `-U`.
+    pub cardinality_ratio: f64,
+    /// Class-size standard deviation normalized to `-U`.
+    pub std_dev_ratio: f64,
+}
+
+/// Table VI — impact of B1/B2 on V-N2 and N1-N2 at the maximum thread
+/// count, geo-means across the configured datasets.
+pub fn table6(cfg: &ReproConfig) -> (String, Vec<Table6Row>) {
+    let t = cfg.max_threads();
+    let bases = [Schedule::v_n(2), Schedule::n1_n2()];
+    let balances = [Balance::Unbalanced, Balance::B1, Balance::B2];
+
+    // ratios[base][balance] accumulated across datasets
+    let mut time_r = vec![vec![Vec::new(); 3]; 2];
+    let mut classes_r = vec![vec![Vec::new(); 3]; 2];
+    let mut card_r = vec![vec![Vec::new(); 3]; 2];
+    let mut std_r = vec![vec![Vec::new(); 3]; 2];
+
+    for &dataset in &cfg.datasets {
+        let inst = dataset.build(cfg.scale, cfg.seed);
+        let g = bgpc_graph(&inst);
+        let order = bgpc_order(&g, Ordering::Natural);
+        for (bi, base) in bases.iter().enumerate() {
+            let mut baseline: Option<(f64, usize, f64, f64)> = None;
+            for (vi, &balance) in balances.iter().enumerate() {
+                let schedule = base.clone().with_balance(balance);
+                let (rec, res) =
+                    run_bgpc_once(dataset, &g, &order, "natural", &schedule, t, cfg.reps);
+                let stats = ColorClassStats::from_colors(&res.colors);
+                let tuple = (rec.time_ms, stats.num_classes, stats.mean, stats.std_dev);
+                if vi == 0 {
+                    baseline = Some(tuple);
+                }
+                let (bt, bc, bm, bs) = baseline.unwrap();
+                time_r[bi][vi].push(tuple.0 / bt.max(1e-9));
+                classes_r[bi][vi].push(tuple.1 as f64 / (bc as f64).max(1.0));
+                card_r[bi][vi].push(tuple.2 / bm.max(1e-9));
+                std_r[bi][vi].push(tuple.3 / bs.max(1e-9));
+            }
+        }
+    }
+
+    let mut table = TextTable::new(&[
+        "Algorithm", "Coloring time", "#Color sets", "Avg card.", "Std dev",
+    ]);
+    let mut rows = Vec::new();
+    for (bi, base) in bases.iter().enumerate() {
+        for (vi, &balance) in balances.iter().enumerate() {
+            let name = base.clone().with_balance(balance).name();
+            let name = if balance == Balance::Unbalanced {
+                format!("{name}-U")
+            } else {
+                name
+            };
+            let row = Table6Row {
+                name: name.clone(),
+                time_ratio: geomean(&time_r[bi][vi]),
+                classes_ratio: geomean(&classes_r[bi][vi]),
+                cardinality_ratio: geomean(&card_r[bi][vi]),
+                std_dev_ratio: geomean(&std_r[bi][vi]),
+            };
+            table.row(vec![
+                row.name.clone(),
+                f2(row.time_ratio),
+                f2(row.classes_ratio),
+                f2(row.cardinality_ratio),
+                f2(row.std_dev_ratio),
+            ]);
+            rows.push(row);
+        }
+    }
+    (table.render(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ReproConfig {
+        ReproConfig {
+            scale: 0.002,
+            seed: 1,
+            threads: vec![1, 2],
+            datasets: vec![Dataset::Bone010, Dataset::CoPapersDblp],
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn table1_orders_variants_by_optimism() {
+        let (text, records) = table1(&tiny_cfg());
+        assert!(text.contains("bone010"));
+        assert_eq!(records.len(), 6);
+        // Alg. 8 should leave no more remaining vertices than Alg. 6 on
+        // these instances (the paper's whole point); allow equality.
+        for pair in records.chunks(3) {
+            assert!(
+                pair[2].remaining_after_first <= pair[0].remaining_after_first,
+                "Alg. 8 ({}) worse than Alg. 6 ({}) on {}",
+                pair[2].remaining_after_first,
+                pair[0].remaining_after_first,
+                pair[0].dataset
+            );
+        }
+    }
+
+    #[test]
+    fn table2_reports_both_orderings() {
+        let cfg = ReproConfig {
+            datasets: vec![Dataset::AfShell10],
+            ..tiny_cfg()
+        };
+        let (text, rows) = table2(&cfg);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].colors_natural >= rows[0].max_net);
+        assert!(rows[0].colors_sl >= rows[0].max_net);
+        assert!(text.contains("af_shell10"));
+    }
+
+    #[test]
+    fn speedup_table_has_all_schedules() {
+        let cfg = ReproConfig {
+            datasets: vec![Dataset::CoPapersDblp],
+            ..tiny_cfg()
+        };
+        let (text, rows, records) = bgpc_speedup_table(&cfg, Ordering::Natural);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(records.len(), 8 * 2); // schedules × threads
+        assert!(text.contains("V-V-64D"));
+        // Reference row normalizes to itself.
+        assert!((rows[0].colors_vs_ref - 1.0).abs() < 1e-9);
+        assert!((rows[0].speedup_vs_ref_maxt - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn d2gc_table_uses_symmetric_subset() {
+        let cfg = ReproConfig {
+            datasets: vec![Dataset::Nlpkkt120, Dataset::Uk2002], // uk-2002 excluded
+            ..tiny_cfg()
+        };
+        let (_, rows, records) = d2gc_speedup_table(&cfg);
+        assert_eq!(rows.len(), 4);
+        assert!(records.iter().all(|r| r.dataset == "nlpkkt120"));
+    }
+
+    #[test]
+    fn table6_baseline_rows_are_unity() {
+        let cfg = ReproConfig {
+            datasets: vec![Dataset::CoPapersDblp],
+            ..tiny_cfg()
+        };
+        let (_, rows) = table6(&cfg);
+        assert_eq!(rows.len(), 6);
+        for row in rows.iter().step_by(3) {
+            assert!((row.time_ratio - 1.0).abs() < 1e-9, "{}", row.name);
+            assert!((row.std_dev_ratio - 1.0).abs() < 1e-9);
+        }
+    }
+}

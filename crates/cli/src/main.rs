@@ -1,0 +1,38 @@
+//! `bgpc-cli` — color Matrix Market files or synthetic paper instances
+//! from the command line.
+//!
+//! ```text
+//! bgpc-cli color --dataset coPapersDBLP --schedule N1-N2 --threads 8
+//! bgpc-cli color --mtx matrix.mtx --problem d2gc --order smallest-last
+//! bgpc-cli stats --mtx matrix.mtx
+//! bgpc-cli generate --dataset bone010 --scale 0.01 --output bone.mtx
+//! ```
+
+mod args;
+mod run;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "color" => run::cmd_color(rest),
+            "stats" => run::cmd_stats(rest),
+            "generate" => run::cmd_generate(rest),
+            "--help" | "-h" | "help" => {
+                println!("{}", args::COLOR_USAGE);
+                println!("\nother commands: stats --mtx FILE | --dataset NAME");
+                println!("                generate --dataset NAME [--scale F] [--seed N] --output FILE");
+                0
+            }
+            other => {
+                eprintln!("unknown command `{other}`; try `bgpc-cli help`");
+                2
+            }
+        },
+        None => {
+            eprintln!("{}", args::COLOR_USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,273 @@
+//! Command implementations.
+
+use std::io::Write;
+
+use bgpc::verify::ColorClassStats;
+use graph::{BipartiteGraph, Graph};
+use par::Pool;
+use sparse::{Csr, Dataset, DegreeStats};
+
+use crate::args::{ColorArgs, Input, Problem, COLOR_USAGE};
+
+fn load(input: &Input) -> Result<Csr, String> {
+    match input {
+        Input::Mtx(path) => sparse::mm::read_pattern_file(path).map_err(|e| e.to_string()),
+        Input::Dataset { dataset, scale, seed } => Ok(dataset.build(*scale, *seed).matrix),
+    }
+}
+
+/// `bgpc-cli color …`
+pub fn cmd_color(flags: &[String]) -> i32 {
+    let args = match ColorArgs::parse(flags) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{COLOR_USAGE}");
+            return 2;
+        }
+    };
+    let matrix = match load(&args.input) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "pattern: {} x {}, {} nnz; problem {:?}, schedule {}, {} threads, {} order",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz(),
+        args.problem,
+        args.schedule.name(),
+        args.threads,
+        args.ordering.label(),
+    );
+    let pool = Pool::new(args.threads);
+
+    let (colors, num_colors, bound, total_ms, rounds) = match args.problem {
+        Problem::Bgpc => {
+            let g = BipartiteGraph::from_matrix(&matrix);
+            let order = args.ordering.vertex_order_bgpc(&g);
+            let r = bgpc::color_bgpc(&g, &order, &args.schedule, &pool);
+            if let Err(e) = bgpc::verify::verify_bgpc(&g, &r.colors) {
+                eprintln!("INTERNAL ERROR — invalid coloring: {e}");
+                return 1;
+            }
+            let total_ms = r.total_time.as_secs_f64() * 1e3;
+            let rounds = r.rounds();
+            let mut colors = r.colors;
+            let mut k = r.num_colors;
+            if args.recolor {
+                k = bgpc::recolor::reduce_colors_bgpc(&g, &mut colors, &pool);
+                bgpc::verify::verify_bgpc(&g, &colors).expect("recolor must stay valid");
+            }
+            (colors, k, g.max_net_size(), total_ms, rounds)
+        }
+        Problem::D2gc | Problem::D1gc | Problem::Dk(_) => {
+            if !matrix.strip_diagonal().is_structurally_symmetric() {
+                eprintln!("error: distance-k problems need a symmetric pattern");
+                return 1;
+            }
+            let g = Graph::from_symmetric_matrix(&matrix);
+            let order = args.ordering.vertex_order_d2(&g);
+            match args.problem {
+                Problem::D2gc => {
+                    let r = bgpc::d2gc::color_d2gc(&g, &order, &args.schedule, &pool);
+                    if let Err(e) = bgpc::verify::verify_d2gc(&g, &r.colors) {
+                        eprintln!("INTERNAL ERROR — invalid coloring: {e}");
+                        return 1;
+                    }
+                    let total_ms = r.total_time.as_secs_f64() * 1e3;
+                    let rounds = r.rounds();
+                    let mut colors = r.colors;
+                    let mut k = r.num_colors;
+                    if args.recolor {
+                        k = bgpc::recolor::reduce_colors_d2gc_seq(&g, &mut colors);
+                        bgpc::verify::verify_d2gc(&g, &colors).expect("recolor valid");
+                    }
+                    (colors, k, g.max_degree() + 1, total_ms, rounds)
+                }
+                Problem::D1gc => {
+                    let t0 = std::time::Instant::now();
+                    let (colors, k) = bgpc::d1gc::color_d1gc(
+                        &g,
+                        &order,
+                        &pool,
+                        args.schedule.chunk,
+                        args.schedule.balance,
+                    );
+                    bgpc::d1gc::verify_d1gc(&g, &colors).expect("d1 valid");
+                    (colors, k, 1, t0.elapsed().as_secs_f64() * 1e3, 0)
+                }
+                Problem::Dk(k) => {
+                    let t0 = std::time::Instant::now();
+                    let (colors, used) = bgpc::dkgc::color_dkgc(
+                        &g,
+                        &order,
+                        k,
+                        &pool,
+                        args.schedule.chunk,
+                        args.schedule.balance,
+                    );
+                    bgpc::dkgc::verify_dkgc(&g, &colors, k).expect("dk valid");
+                    (colors, used, 1, t0.elapsed().as_secs_f64() * 1e3, 0)
+                }
+                Problem::Bgpc => unreachable!(),
+            }
+        }
+    };
+
+    let stats = ColorClassStats::from_colors(&colors);
+    println!(
+        "colored {} vertices with {} colors (lower bound {}) in {:.2} ms, {} rounds",
+        colors.len(),
+        num_colors,
+        bound,
+        total_ms,
+        rounds
+    );
+    println!(
+        "classes: {} (min {}, max {}, σ {:.2}, entropy {:.3}, gini {:.3}, {} singletons)",
+        stats.num_classes,
+        stats.min,
+        stats.max,
+        stats.std_dev,
+        stats.entropy(),
+        stats.gini(),
+        stats.classes_below(2),
+    );
+
+    if let Some(path) = args.output {
+        match write_colors(&path, &colors) {
+            Ok(()) => println!("colors written to {path}"),
+            Err(e) => {
+                eprintln!("error writing {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn write_colors(path: &str, colors: &[i32]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "% vertex color")?;
+    for (v, &c) in colors.iter().enumerate() {
+        writeln!(f, "{v} {c}")?;
+    }
+    Ok(())
+}
+
+/// `bgpc-cli stats …`
+pub fn cmd_stats(flags: &[String]) -> i32 {
+    let args = match ColorArgs::parse(flags) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let matrix = match load(&args.input) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let rows = DegreeStats::rows(&matrix);
+    let cols = DegreeStats::cols(&matrix);
+    println!("shape: {} x {}, nnz {}", matrix.nrows(), matrix.ncols(), matrix.nnz());
+    println!(
+        "row degrees: min {} max {} mean {:.2} σ {:.2}",
+        rows.min, rows.max, rows.mean, rows.std_dev
+    );
+    println!(
+        "col degrees: min {} max {} mean {:.2} σ {:.2}",
+        cols.min, cols.max, cols.mean, cols.std_dev
+    );
+    let symmetric =
+        matrix.nrows() == matrix.ncols() && matrix.strip_diagonal().is_structurally_symmetric();
+    println!("structurally symmetric: {symmetric}");
+    if symmetric {
+        let g = Graph::from_symmetric_matrix(&matrix);
+        let natural: Vec<u32> = (0..g.n_vertices() as u32).collect();
+        let rcm = graph::rcm_permutation(&g);
+        println!(
+            "bandwidth: natural {}, after RCM {}",
+            graph::bandwidth(&g, &natural),
+            graph::bandwidth(&g, &rcm)
+        );
+    }
+    println!("BGPC color lower bound (max net size): {}", rows.max);
+    0
+}
+
+/// `bgpc-cli generate …`
+pub fn cmd_generate(flags: &[String]) -> i32 {
+    // reuse ColorArgs parsing for --dataset/--scale/--seed/--output
+    let args = match ColorArgs::parse(flags) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let Input::Dataset { dataset, scale, seed } = args.input else {
+        eprintln!("error: generate needs --dataset (not --mtx)");
+        return 2;
+    };
+    let Some(path) = args.output else {
+        eprintln!("error: generate needs --output FILE");
+        return 2;
+    };
+    let inst = dataset.build(scale, seed);
+    match sparse::mm::write_pattern_file(&path, &inst.matrix) {
+        Ok(()) => {
+            println!(
+                "wrote {} analogue at scale {scale} (seed {seed}) to {path}: {} x {}, {} nnz",
+                Dataset::name(&dataset),
+                inst.matrix.nrows(),
+                inst.matrix.ncols(),
+                inst.matrix.nnz()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Input;
+
+    #[test]
+    fn load_dataset_input() {
+        let m = load(&Input::Dataset {
+            dataset: Dataset::AfShell10,
+            scale: 0.002,
+            seed: 1,
+        })
+        .unwrap();
+        assert!(m.nnz() > 0);
+    }
+
+    #[test]
+    fn load_missing_mtx_fails() {
+        assert!(load(&Input::Mtx("/definitely/not/here.mtx".into())).is_err());
+    }
+
+    #[test]
+    fn write_colors_format() {
+        let dir = std::env::temp_dir().join("bgpc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.txt");
+        write_colors(path.to_str().unwrap(), &[3, 0, 1]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "% vertex color\n0 3\n1 0\n2 1\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Symmetric (Hessian) compression via distance-2 coloring.
+//!
+//! For a structurally symmetric matrix `H`, the direct-recovery condition
+//! "no row contains two columns of the same color" is exactly a
+//! **distance-2 coloring** of `H`'s adjacency graph: two columns appearing
+//! in the same row are distance-≤2 neighbors (through the row's vertex),
+//! and the diagonal couples each column with its distance-1 neighbors.
+//! This is the paper's D2GC use case (Hessian computation, §I).
+//!
+//! A distance-*1* coloring is *not* sufficient — two non-adjacent columns
+//! with a common neighbor row would collide — and
+//! [`tests::d1_coloring_is_insufficient`] demonstrates it.
+
+use bgpc::Color;
+use graph::Graph;
+use par::Pool;
+use sparse::Csr;
+
+use crate::jacobian::{Compressed, SparseF64};
+use crate::SeedMatrix;
+
+/// Produces a seed matrix for a symmetric pattern by running the given
+/// D2GC schedule on its adjacency graph. Panics if the pattern is not
+/// structurally symmetric.
+pub fn hessian_seed(
+    pattern: &Csr,
+    schedule: &bgpc::Schedule,
+    pool: &Pool,
+) -> (SeedMatrix, Vec<Color>) {
+    let g = Graph::from_symmetric_matrix(pattern);
+    let order = graph::Ordering::Natural.vertex_order_d2(&g);
+    let result = bgpc::d2gc::color_d2gc(&g, &order, schedule, pool);
+    bgpc::verify::verify_d2gc(&g, &result.colors).expect("D2GC must be valid");
+    (SeedMatrix::from_coloring(&result.colors), result.colors)
+}
+
+/// Compresses a symmetric matrix with a seed derived from a D2 coloring.
+///
+/// # Panics
+/// Panics if the matrix is not structurally symmetric (Hessian
+/// compression relies on it) or the seed shape mismatches.
+pub fn compress_hessian(h: &SparseF64, seed: &SeedMatrix) -> Compressed {
+    assert!(
+        h.pattern().is_structurally_symmetric(),
+        "Hessian compression requires a symmetric pattern"
+    );
+    h.compress(seed)
+}
+
+/// Recovers a symmetric matrix from its compressed form (direct method).
+pub fn recover_hessian(pattern: &Csr, seed: &SeedMatrix, compressed: &Compressed) -> SparseF64 {
+    SparseF64::recover(pattern, seed, compressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpc::Schedule;
+
+    /// Symmetric values: value of (i,j) must equal value of (j,i) for a
+    /// meaningful Hessian; build via index-symmetric function.
+    fn symmetric_values(pattern: &Csr) -> SparseF64 {
+        let values: Vec<f64> = pattern
+            .iter()
+            .map(|(i, j)| {
+                let (a, b) = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+                1.0 + a as f64 * 0.37 + b as f64 * 1.13
+            })
+            .collect();
+        SparseF64::new(pattern.clone(), values)
+    }
+
+    #[test]
+    fn roundtrip_mesh_hessian() {
+        let pattern = sparse::gen::grid2d(10, 10, 1);
+        let h = symmetric_values(&pattern);
+        let pool = Pool::new(2);
+        let (seed, _) = hessian_seed(&pattern, &Schedule::v_n(1), &pool);
+        let b = compress_hessian(&h, &seed);
+        let recovered = recover_hessian(&pattern, &seed, &b);
+        assert_eq!(recovered, h);
+        assert!(b.num_colors() < pattern.ncols());
+    }
+
+    #[test]
+    fn roundtrip_with_diagonal() {
+        // tridiagonal with diagonal entries — the typical Hessian shape
+        let n = 50;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut r = vec![i as u32];
+                if i > 0 {
+                    r.push(i as u32 - 1);
+                }
+                if i + 1 < n {
+                    r.push(i as u32 + 1);
+                }
+                r
+            })
+            .collect();
+        let pattern = Csr::from_rows(n, &rows);
+        let h = symmetric_values(&pattern);
+        let pool = Pool::new(1);
+        let (seed, _) = hessian_seed(&pattern, &Schedule::v_v_64d(), &pool);
+        let b = compress_hessian(&h, &seed);
+        assert_eq!(recover_hessian(&pattern, &seed, &b), h);
+        assert!(b.num_colors() <= 5, "tridiagonal needs ~3-4 colors at d2");
+    }
+
+    #[test]
+    fn d1_coloring_is_insufficient() {
+        // path 0-1-2: columns 0 and 2 are non-adjacent (D1 allows equal
+        // colors) but share row 1 — direct recovery must break.
+        let pattern = Csr::from_rows(3, &[vec![0, 1], vec![0, 1, 2], vec![1, 2]]);
+        let h = symmetric_values(&pattern);
+        let g = Graph::from_symmetric_matrix(&pattern);
+        let order: Vec<u32> = vec![0, 1, 2];
+        let (d1_colors, _) = bgpc::d1gc::color_d1gc_seq(&g, &order);
+        bgpc::d1gc::verify_d1gc(&g, &d1_colors).unwrap();
+        assert_eq!(d1_colors[0], d1_colors[2], "D1 gives 0 and 2 one color");
+        let seed = SeedMatrix::from_coloring(&d1_colors);
+        let b = h.compress(&seed);
+        let recovered = SparseF64::recover(&pattern, &seed, &b);
+        assert_ne!(recovered, h, "D1-based direct recovery must fail");
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_pattern_rejected() {
+        let pattern = Csr::from_rows(2, &[vec![1], vec![]]);
+        let h = SparseF64::with_synthetic_values(pattern);
+        let seed = SeedMatrix::from_coloring(&[0, 1]);
+        compress_hessian(&h, &seed);
+    }
+}

@@ -1,0 +1,24 @@
+//! `compress` — what the coloring is *for*.
+//!
+//! The paper motivates BGPC with two applications, both implemented here:
+//!
+//! * **Sparse Jacobian compression** ([`jacobian`], [`seed`]): a valid
+//!   partial coloring of the columns lets `k ≪ n` matrix–vector products
+//!   (`B = J · S`, one per color) recover every nonzero of `J` exactly —
+//!   the Curtis–Powell–Reid / ColPack "direct recovery" scheme. The
+//!   coloring validity invariant *is* the recovery-correctness invariant.
+//! * **Color-set-parallel execution** ([`classes`]): a coloring partitions
+//!   vertices into independent sets; processing one set at a time allows
+//!   lock-free parallel updates (the matrix-factorization workload the
+//!   paper's 20M_movielens instance comes from). Balanced colorings keep
+//!   every round wide enough to feed all cores — the point of B1/B2.
+
+pub mod classes;
+pub mod hessian;
+pub mod jacobian;
+pub mod orient;
+pub mod seed;
+
+pub use classes::ColorClasses;
+pub use jacobian::SparseF64;
+pub use seed::SeedMatrix;

@@ -1,0 +1,114 @@
+//! Seed matrices derived from colorings.
+
+use bgpc::Color;
+
+/// The seed matrix `S ∈ {0,1}^{n×k}` of a column coloring: `S[j][c] = 1`
+/// iff column `j` has color `c`.
+///
+/// Stored implicitly as the color vector plus the color count — the dense
+/// form would be wasteful and is never needed: `J · S` only requires
+/// knowing each column's color.
+#[derive(Clone, Debug)]
+pub struct SeedMatrix {
+    colors: Vec<Color>,
+    num_colors: usize,
+}
+
+impl SeedMatrix {
+    /// Builds a seed matrix from a complete coloring.
+    ///
+    /// # Panics
+    /// Panics if any entry is negative (uncolored).
+    pub fn from_coloring(colors: &[Color]) -> Self {
+        assert!(
+            colors.iter().all(|&c| c >= 0),
+            "seed matrix requires a complete coloring"
+        );
+        let num_colors = colors.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        Self {
+            colors: colors.to_vec(),
+            num_colors,
+        }
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn n_cols(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Number of colors `k` (columns of the compressed matrix).
+    ///
+    /// This is `max(color) + 1`: reverse-first-fit colorings may leave a
+    /// few ids unused, but the compressed storage is indexed by color id,
+    /// so gaps simply stay zero.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Color of column `j`.
+    #[inline]
+    pub fn color(&self, j: usize) -> usize {
+        self.colors[j] as usize
+    }
+
+    /// The columns grouped by color: `groups()[c]` lists the columns with
+    /// color `c`.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut groups = vec![Vec::new(); self.num_colors];
+        for (j, &c) in self.colors.iter().enumerate() {
+            groups[c as usize].push(j as u32);
+        }
+        groups
+    }
+
+    /// Materializes the dense 0/1 seed matrix (tests/documentation only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.num_colors]; self.n_cols()];
+        for (j, &c) in self.colors.iter().enumerate() {
+            dense[j][c as usize] = 1.0;
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = SeedMatrix::from_coloring(&[0, 1, 0, 2]);
+        assert_eq!(s.n_cols(), 4);
+        assert_eq!(s.num_colors(), 3);
+        assert_eq!(s.color(2), 0);
+        assert_eq!(s.groups(), vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn dense_rows_are_unit_vectors() {
+        let s = SeedMatrix::from_coloring(&[1, 0]);
+        let d = s.to_dense();
+        assert_eq!(d, vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    fn gap_colors_allowed() {
+        // color 1 unused (reverse-fit colorings can skip ids)
+        let s = SeedMatrix::from_coloring(&[0, 2]);
+        assert_eq!(s.num_colors(), 3);
+        assert_eq!(s.groups()[1], Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "complete")]
+    fn uncolored_rejected() {
+        SeedMatrix::from_coloring(&[0, -1]);
+    }
+
+    #[test]
+    fn empty_coloring() {
+        let s = SeedMatrix::from_coloring(&[]);
+        assert_eq!(s.num_colors(), 0);
+        assert!(s.groups().is_empty());
+    }
+}

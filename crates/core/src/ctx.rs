@@ -1,0 +1,50 @@
+//! Per-thread workspace shared by all phases.
+
+use crate::balance::BalancerState;
+use crate::StampSet;
+
+/// One team thread's reusable buffers.
+///
+/// Allocated once per coloring run and reused across every parallel region
+/// (the paper's "allocated only once … never actually emptied or reset"
+/// implementation note): the forbidden set is stamp-marked, the queues are
+/// cleared by resetting their length.
+pub struct ThreadCtx {
+    /// Forbidden-color stamp set `F`.
+    pub fb: StampSet,
+    /// B1/B2 cursors (`colmax`, `colnext`).
+    pub balancer: BalancerState,
+    /// Lazy (64D) conflict queue for this thread.
+    pub local_queue: Vec<u32>,
+    /// `W_local` — the two-pass net coloring's to-be-colored buffer.
+    pub wlocal: Vec<u32>,
+}
+
+impl ThreadCtx {
+    /// Creates a context sized for colors up to `color_capacity` (the
+    /// stamp set grows on demand if exceeded).
+    pub fn new(color_capacity: usize) -> Self {
+        Self {
+            fb: StampSet::with_capacity(color_capacity.max(16)),
+            balancer: BalancerState::default(),
+            local_queue: Vec::new(),
+            wlocal: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sizes_stamp_set() {
+        let ctx = ThreadCtx::new(100);
+        assert!(ctx.fb.capacity() >= 100);
+        let tiny = ThreadCtx::new(0);
+        assert!(tiny.fb.capacity() >= 16);
+        assert_eq!(tiny.balancer.colmax, 0);
+        assert!(tiny.local_queue.is_empty());
+        assert!(tiny.wlocal.is_empty());
+    }
+}

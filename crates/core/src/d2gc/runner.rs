@@ -1,0 +1,208 @@
+//! Speculative driver for D2GC, mirroring [`crate::runner`].
+
+use std::time::Instant;
+
+use graph::Graph;
+use par::{Pool, ThreadScratch};
+
+use crate::ctx::ThreadCtx;
+use crate::d2gc::{net, vertex};
+use crate::metrics::{count_distinct_colors, ColoringResult, IterationMetrics};
+use crate::schedule::PhaseKind;
+use crate::workqueue::SharedQueue;
+use crate::{Colors, Schedule};
+
+const MAX_ITERATIONS: usize = 256;
+
+/// Runs the full speculative D2GC loop with the given [`Schedule`].
+///
+/// The schedule's net/vertex switching, chunking, queue strategy and
+/// balancing knobs apply exactly as in BGPC; the `net_variant` field is
+/// ignored (D2GC has a single net-based coloring algorithm, Algorithm 9).
+pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) -> ColoringResult {
+    let n = g.n_vertices();
+    debug_assert_eq!(order.len(), n);
+    let colors = Colors::new(n);
+    let mut scratch =
+        ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 64));
+    let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
+
+    let mut w: Vec<u32> = order.to_vec();
+    let mut iterations = Vec::new();
+    let start = Instant::now();
+
+    let mut iter = 0usize;
+    while !w.is_empty() {
+        if iter >= MAX_ITERATIONS {
+            sequential_fallback(g, &w, &colors);
+            let queue_in = w.len();
+            w.clear();
+            iterations.push(IterationMetrics {
+                iter,
+                queue_in,
+                color_kind: PhaseKind::Vertex,
+                conflict_kind: PhaseKind::Vertex,
+                color_time: start.elapsed(),
+                conflict_time: std::time::Duration::ZERO,
+                queue_out: 0,
+            });
+            break;
+        }
+
+        let queue_in = w.len();
+        let color_kind = schedule.color_kind(iter);
+        let conflict_kind = schedule.conflict_kind(iter);
+
+        let t_color = Instant::now();
+        match color_kind {
+            PhaseKind::Vertex => vertex::color_workqueue_vertex(
+                g,
+                &w,
+                &colors,
+                pool,
+                schedule.chunk,
+                schedule.balance,
+                &scratch,
+            ),
+            PhaseKind::Net => {
+                net::color_workqueue_net(g, &colors, pool, schedule.balance, &scratch)
+            }
+        }
+        let color_time = t_color.elapsed();
+
+        let t_conflict = Instant::now();
+        let wnext = match conflict_kind {
+            PhaseKind::Vertex => vertex::remove_conflicts_vertex(
+                g,
+                &w,
+                &colors,
+                pool,
+                schedule.chunk,
+                eager_queue.as_ref(),
+                &mut scratch,
+            ),
+            PhaseKind::Net => {
+                net::remove_conflicts_net(g, &colors, pool, &scratch);
+                net::collect_uncolored(order, &colors, pool, &mut scratch)
+            }
+        };
+        let conflict_time = t_conflict.elapsed();
+
+        iterations.push(IterationMetrics {
+            iter,
+            queue_in,
+            color_kind,
+            conflict_kind,
+            color_time,
+            conflict_time,
+            queue_out: wnext.len(),
+        });
+        w = wnext;
+        iter += 1;
+    }
+
+    let colors = colors.snapshot();
+    let num_colors = count_distinct_colors(&colors);
+    ColoringResult {
+        colors,
+        num_colors,
+        iterations,
+        total_time: start.elapsed(),
+    }
+}
+
+fn sequential_fallback(g: &Graph, w: &[u32], colors: &Colors) {
+    let mut fb = crate::StampSet::with_capacity(g.max_degree() + 64);
+    for &wv in w {
+        let wu = wv as usize;
+        fb.advance();
+        for &u in g.nbor(wu) {
+            let cu = colors.get(u as usize);
+            if cu != crate::UNCOLORED {
+                fb.insert(cu);
+            }
+            for &x in g.nbor(u as usize) {
+                if x != wv {
+                    let cx = colors.get(x as usize);
+                    if cx != crate::UNCOLORED {
+                        fb.insert(cx);
+                    }
+                }
+            }
+        }
+        colors.set(wu, fb.first_fit_from(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_d2gc;
+    use crate::Balance;
+    use graph::Ordering;
+
+    fn mesh() -> Graph {
+        Graph::from_symmetric_matrix(&sparse::gen::grid2d(12, 12, 1))
+    }
+
+    #[test]
+    fn d2gc_schedule_set_valid_single_thread() {
+        let g = mesh();
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(1);
+        for schedule in Schedule::d2gc_set() {
+            let r = color_d2gc(&g, &order, &schedule, &pool);
+            verify_d2gc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{}: {e}", schedule.name()));
+            assert!(r.num_colors > g.max_degree());
+        }
+    }
+
+    #[test]
+    fn d2gc_schedule_set_valid_parallel() {
+        let g = mesh();
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(4);
+        for schedule in Schedule::d2gc_set() {
+            let r = color_d2gc(&g, &order, &schedule, &pool);
+            verify_d2gc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{}: {e}", schedule.name()));
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        let g = mesh();
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(1);
+        let r = color_d2gc(&g, &order, &Schedule::v_v(), &pool);
+        let (seq_colors, seq_k) = crate::seq::color_d2gc_seq(&g, &order);
+        assert_eq!(r.colors, seq_colors);
+        assert_eq!(r.num_colors, seq_k);
+    }
+
+    #[test]
+    fn balanced_d2gc_valid() {
+        let g = mesh();
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(3);
+        for balance in [Balance::B1, Balance::B2] {
+            let schedule = Schedule::n1_n2().with_balance(balance);
+            let r = color_d2gc(&g, &order, &schedule, &pool);
+            verify_d2gc(&g, &r.colors).unwrap();
+        }
+    }
+
+    #[test]
+    fn powerlaw_graph_all_schedules() {
+        let m = sparse::gen::chung_lu(300, 2400, 2.3, 60, true, 5);
+        let g = Graph::from_symmetric_matrix(&m);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(4);
+        for schedule in Schedule::d2gc_set() {
+            let r = color_d2gc(&g, &order, &schedule, &pool);
+            verify_d2gc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{}: {e}", schedule.name()));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-iteration timing and queue metrics.
+//!
+//! Figure 1 of the paper plots the coloring and conflict-removal time of
+//! each speculative iteration; Table I reports the work-queue size left
+//! after the first iteration. The runner records both for every run.
+
+use std::time::Duration;
+
+use crate::schedule::PhaseKind;
+use crate::Color;
+
+/// Measurements for one speculative iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationMetrics {
+    /// 0-based iteration number.
+    pub iter: usize,
+    /// Work-queue size entering the iteration.
+    pub queue_in: usize,
+    /// Phase kind used for coloring.
+    pub color_kind: PhaseKind,
+    /// Phase kind used for conflict removal.
+    pub conflict_kind: PhaseKind,
+    /// Wall time of the coloring phase.
+    pub color_time: Duration,
+    /// Wall time of the conflict-removal phase.
+    pub conflict_time: Duration,
+    /// Work-queue size left for the next iteration (`|W_next|`).
+    pub queue_out: usize,
+}
+
+/// The outcome of a full coloring run.
+#[derive(Clone, Debug)]
+pub struct ColoringResult {
+    /// Final color per vertex (all non-negative).
+    pub colors: Vec<Color>,
+    /// Number of distinct colors used.
+    pub num_colors: usize,
+    /// Per-iteration metrics, in order.
+    pub iterations: Vec<IterationMetrics>,
+    /// Total wall time of the speculative loop (excludes graph build and
+    /// ordering, matching the paper's measurement boundary).
+    pub total_time: Duration,
+}
+
+impl ColoringResult {
+    /// Sum of the coloring-phase times.
+    pub fn color_time(&self) -> Duration {
+        self.iterations.iter().map(|m| m.color_time).sum()
+    }
+
+    /// Sum of the conflict-removal-phase times.
+    pub fn conflict_time(&self) -> Duration {
+        self.iterations.iter().map(|m| m.conflict_time).sum()
+    }
+
+    /// Number of speculative iterations executed.
+    pub fn rounds(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// `|W_next|` after the first iteration (Table I's statistic).
+    pub fn remaining_after_first(&self) -> usize {
+        self.iterations.first().map(|m| m.queue_out).unwrap_or(0)
+    }
+}
+
+/// Counts distinct colors in a coloring (ignores uncolored slots).
+pub fn count_distinct_colors(colors: &[Color]) -> usize {
+    let max = colors.iter().copied().max().unwrap_or(-1);
+    if max < 0 {
+        return 0;
+    }
+    let mut used = vec![false; max as usize + 1];
+    for &c in colors {
+        if c >= 0 {
+            used[c as usize] = true;
+        }
+    }
+    used.into_iter().filter(|&u| u).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(iter: usize, cms: u64, rms: u64, out: usize) -> IterationMetrics {
+        IterationMetrics {
+            iter,
+            queue_in: 100,
+            color_kind: PhaseKind::Vertex,
+            conflict_kind: PhaseKind::Vertex,
+            color_time: Duration::from_millis(cms),
+            conflict_time: Duration::from_millis(rms),
+            queue_out: out,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = ColoringResult {
+            colors: vec![0, 1, 0],
+            num_colors: 2,
+            iterations: vec![metric(0, 10, 5, 20), metric(1, 2, 1, 0)],
+            total_time: Duration::from_millis(18),
+        };
+        assert_eq!(r.color_time(), Duration::from_millis(12));
+        assert_eq!(r.conflict_time(), Duration::from_millis(6));
+        assert_eq!(r.rounds(), 2);
+        assert_eq!(r.remaining_after_first(), 20);
+    }
+
+    #[test]
+    fn distinct_color_count() {
+        assert_eq!(count_distinct_colors(&[0, 2, 2, 5]), 3);
+        assert_eq!(count_distinct_colors(&[]), 0);
+        assert_eq!(count_distinct_colors(&[-1, -1]), 0);
+        assert_eq!(count_distinct_colors(&[-1, 3]), 1);
+    }
+}

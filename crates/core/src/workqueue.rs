@@ -1,0 +1,143 @@
+//! Conflict work-queue construction: eager shared vs. lazy thread-private.
+//!
+//! ColPack's conflict removal pushes each conflicting vertex into a shared
+//! next-iteration queue immediately (one atomic per conflict — the `V-V`
+//! and `V-V-64` baselines). The paper's `64D` refinement builds
+//! thread-private queues and concatenates them after the join, removing the
+//! shared atomic from the hot loop. Both are provided so the ablation can
+//! measure the difference.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// An eager shared queue: bounded, lock-free pushes via a single
+/// `fetch_add` tail counter.
+pub struct SharedQueue {
+    buf: Box<[AtomicU32]>,
+    len: AtomicUsize,
+}
+
+impl SharedQueue {
+    /// Creates a queue able to hold `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        let mut v = Vec::with_capacity(capacity);
+        v.resize_with(capacity, || AtomicU32::new(0));
+        Self {
+            buf: v.into_boxed_slice(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends `w`.
+    ///
+    /// # Panics
+    /// Panics if the queue is full — callers size it with the number of
+    /// vertices, which bounds the number of conflicts per iteration.
+    #[inline]
+    pub fn push(&self, w: u32) {
+        let slot = self.len.fetch_add(1, Ordering::Relaxed);
+        assert!(slot < self.buf.len(), "shared work queue overflow");
+        self.buf[slot].store(w, Ordering::Relaxed);
+    }
+
+    /// Number of entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed).min(self.buf.len())
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets the queue to empty (call between iterations, outside
+    /// parallel regions).
+    pub fn clear(&self) {
+        self.len.store(0, Ordering::Relaxed);
+    }
+
+    /// Copies the contents into a vector (call after the producing region
+    /// has joined).
+    pub fn drain_to_vec(&self) -> Vec<u32> {
+        let n = self.len();
+        let out = (0..n)
+            .map(|i| self.buf[i].load(Ordering::Relaxed))
+            .collect();
+        self.clear();
+        out
+    }
+}
+
+/// Concatenates the thread-private `local_queue`s of a scratch set (the
+/// `64D` lazy strategy) into one vector, clearing them for reuse.
+/// Deterministic order: by thread id.
+pub fn merge_local_queues(locals: &mut par::ThreadScratch<crate::ctx::ThreadCtx>) -> Vec<u32> {
+    let total: usize = {
+        let mut t = 0;
+        for ctx in locals.iter_mut() {
+            t += ctx.local_queue.len();
+        }
+        t
+    };
+    let mut merged = Vec::with_capacity(total);
+    for ctx in locals.iter_mut() {
+        merged.extend_from_slice(&ctx.local_queue);
+        ctx.local_queue.clear();
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain() {
+        let q = SharedQueue::new(4);
+        q.push(7);
+        q.push(9);
+        assert_eq!(q.len(), 2);
+        let v = q.drain_to_vec();
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&7) && v.contains(&9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let q = SharedQueue::new(4000);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        q.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let mut v = q.drain_to_vec();
+        v.sort_unstable();
+        assert_eq!(v.len(), 4000);
+        assert_eq!(v, (0..4000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let q = SharedQueue::new(1);
+        q.push(0);
+        q.push(1);
+    }
+
+    #[test]
+    fn merge_locals_preserves_thread_order() {
+        use crate::ctx::ThreadCtx;
+        let mut locals = par::ThreadScratch::new(3, |_| ThreadCtx::new(4));
+        locals.with(0, |ctx| ctx.local_queue.extend([1, 2]));
+        locals.with(2, |ctx| ctx.local_queue.push(5));
+        let merged = merge_local_queues(&mut locals);
+        assert_eq!(merged, vec![1, 2, 5]);
+        // cleared for reuse
+        assert!(merge_local_queues(&mut locals).is_empty());
+    }
+}

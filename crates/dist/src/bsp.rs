@@ -1,0 +1,405 @@
+//! The BSP speculative coloring loop.
+
+use bgpc::{Color, StampSet, UNCOLORED};
+use graph::BipartiteGraph;
+
+use crate::Partition;
+
+/// Round bound before the serial-cleanup fallback kicks in. Real
+/// frameworks also bound their communication rounds; large
+/// distance-2-clique instances (giant nets split across many ranks) can
+/// otherwise take `Ω(max net / ranks)` supersteps.
+const MAX_SUPERSTEPS: usize = 512;
+
+/// splitmix64-style hash for the color-jitter draw.
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x85EBCA6B);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The `k`-th smallest color not in the forbidden set.
+fn kth_available(fb: &StampSet, k: usize) -> Color {
+    let mut col = fb.first_fit_from(0);
+    for _ in 0..k {
+        col = fb.first_fit_from(col + 1);
+    }
+    col
+}
+
+/// Sequentially colors every queued vertex against the merged owner
+/// views, writing the result into all views (the bounded-round fallback).
+fn serial_cleanup(
+    g: &BipartiteGraph,
+    partition: &Partition,
+    views: &mut [Vec<Color>],
+    queues: &[Vec<u32>],
+    fb: &mut StampSet,
+) {
+    // Merge: the owner's view holds the authoritative color per vertex.
+    let n = g.n_vertices();
+    let mut global = vec![UNCOLORED; n];
+    for (v, c) in global.iter_mut().enumerate() {
+        *c = views[partition.owner(v)][v];
+    }
+    // Queued vertices are recolored against the merged state.
+    for queue in queues {
+        for &w in queue {
+            global[w as usize] = UNCOLORED;
+        }
+    }
+    for queue in queues {
+        for &w in queue {
+            let wu = w as usize;
+            fb.advance();
+            for &net in g.nets(wu) {
+                for &u in g.vtxs(net as usize) {
+                    if u != w {
+                        let cu = global[u as usize];
+                        if cu != UNCOLORED {
+                            fb.insert(cu);
+                        }
+                    }
+                }
+            }
+            global[wu] = fb.first_fit_from(0);
+        }
+    }
+    for view in views.iter_mut() {
+        view.copy_from_slice(&global);
+    }
+}
+
+/// Accounting for one superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuperstepStats {
+    /// Vertices colored this superstep (across ranks).
+    pub colored: usize,
+    /// Boundary messages sent (one per (vertex, interested rank) pair).
+    pub messages: usize,
+    /// Conflicts detected after the flush (vertices re-queued).
+    pub conflicts: usize,
+}
+
+/// Result of a distributed coloring run.
+#[derive(Clone, Debug)]
+pub struct DistResult {
+    /// Final colors (valid, complete).
+    pub colors: Vec<Color>,
+    /// Distinct colors used.
+    pub num_colors: usize,
+    /// Per-superstep statistics.
+    pub supersteps: Vec<SuperstepStats>,
+}
+
+impl DistResult {
+    /// Number of supersteps (communication rounds) to convergence.
+    pub fn rounds(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Total message volume.
+    pub fn total_messages(&self) -> usize {
+        self.supersteps.iter().map(|s| s.messages).sum()
+    }
+}
+
+/// A deterministic BSP simulation of distributed speculative BGPC.
+///
+/// ```
+/// use dist::{DistRunner, Partition};
+/// use graph::BipartiteGraph;
+/// let m = sparse::gen::bipartite_uniform(30, 40, 300, 1);
+/// let g = BipartiteGraph::from_matrix(&m);
+/// let runner = DistRunner::new(&g, Partition::block(g.n_vertices(), 4));
+/// let result = runner.run();
+/// bgpc::verify::verify_bgpc(&g, &result.colors).unwrap();
+/// assert!(result.rounds() >= 1);
+/// ```
+pub struct DistRunner<'g> {
+    graph: &'g BipartiteGraph,
+    partition: Partition,
+    /// interested[v] = ranks other than the owner that must learn v's
+    /// color (owners of v's distance-2 neighbors).
+    interested: Vec<Vec<u32>>,
+}
+
+impl<'g> DistRunner<'g> {
+    /// Prepares a runner: computes, per vertex, the set of remote ranks
+    /// owning any of its distance-2 neighbors.
+    pub fn new(graph: &'g BipartiteGraph, partition: Partition) -> Self {
+        assert_eq!(partition.len(), graph.n_vertices());
+        let p = partition.n_ranks();
+        let mut interested = vec![Vec::new(); graph.n_vertices()];
+        let mut mark = vec![usize::MAX; p];
+        for (v, interested_v) in interested.iter_mut().enumerate() {
+            let own = partition.owner(v);
+            for &net in graph.nets(v) {
+                for &u in graph.vtxs(net as usize) {
+                    let r = partition.owner(u as usize);
+                    if r != own && mark[r] != v {
+                        mark[r] = v;
+                        interested_v.push(r as u32);
+                    }
+                }
+            }
+        }
+        Self {
+            graph,
+            partition,
+            interested,
+        }
+    }
+
+    /// Fraction of vertices with at least one interested remote rank —
+    /// the boundary ratio of the partition.
+    pub fn boundary_fraction(&self) -> f64 {
+        if self.interested.is_empty() {
+            return 0.0;
+        }
+        self.interested.iter().filter(|i| !i.is_empty()).count() as f64
+            / self.interested.len() as f64
+    }
+
+    /// Runs the speculative BSP loop to a valid coloring.
+    ///
+    /// Each superstep: (1) every rank first-fit-colors its queued vertices
+    /// against its *local view* (stale for remote vertices); (2) boundary
+    /// colors are flushed; (3) every rank re-queues its owned vertices
+    /// that lost an id-ordered conflict. Interior vertices can never
+    /// conflict (their whole neighborhood is owned), mirroring the real
+    /// frameworks' interior/boundary split.
+    pub fn run(&self) -> DistResult {
+        let g = self.graph;
+        let n = g.n_vertices();
+        let p = self.partition.n_ranks();
+        // views[r][v] = rank r's current knowledge of v's color.
+        let mut views: Vec<Vec<Color>> = vec![vec![UNCOLORED; n]; p];
+        let mut queues = self.partition.rank_vertices();
+        let mut fb = StampSet::with_capacity(g.max_net_size() + 16);
+        let mut supersteps = Vec::new();
+
+        let mut superstep = 0usize;
+        while queues.iter().any(|q| !q.is_empty()) {
+            superstep += 1;
+            if superstep > MAX_SUPERSTEPS {
+                // Serial cleanup, as real frameworks bound their rounds:
+                // merge the owners' views and color the stragglers
+                // sequentially (conflict-free by construction).
+                serial_cleanup(g, &self.partition, &mut views, &queues, &mut fb);
+                let colored: usize = queues.iter().map(|q| q.len()).sum();
+                supersteps.push(SuperstepStats {
+                    colored,
+                    messages: 0,
+                    conflicts: 0,
+                });
+                break;
+            }
+
+            // Phase 1: each rank colors its queue against its own view.
+            // From the second superstep on, re-colorings jitter the color
+            // choice (k-th available instead of first available, with k
+            // drawn from a per-vertex hash and a window that widens with
+            // the superstep) — the standard symmetry-breaking trick:
+            // plain first-fit would make every rank's copy of a large net
+            // collide on the same small colors forever.
+            let window = if superstep == 1 {
+                1
+            } else {
+                (superstep * 4).min(64)
+            };
+            let mut outbox: Vec<(u32, u32, Color)> = Vec::new(); // (dest, vertex, color)
+            let mut colored = 0usize;
+            for (r, queue) in queues.iter().enumerate() {
+                let view = &mut views[r];
+                for &w in queue {
+                    let wu = w as usize;
+                    fb.advance();
+                    for &net in g.nets(wu) {
+                        for &u in g.vtxs(net as usize) {
+                            if u != w {
+                                let cu = view[u as usize];
+                                if cu != UNCOLORED {
+                                    fb.insert(cu);
+                                }
+                            }
+                        }
+                    }
+                    let k = if window <= 1 {
+                        0
+                    } else {
+                        (mix(w as u64, superstep as u64) % window as u64) as usize
+                    };
+                    let col = kth_available(&fb, k);
+                    view[wu] = col;
+                    colored += 1;
+                    for &dest in &self.interested[wu] {
+                        outbox.push((dest, w, col));
+                    }
+                }
+            }
+
+            // Phase 2: flush boundary messages.
+            let messages = outbox.len();
+            for (dest, v, col) in outbox {
+                views[dest as usize][v as usize] = col;
+            }
+
+            // Phase 3: conflict detection on synchronized views.
+            let mut conflicts = 0usize;
+            let mut next_queues: Vec<Vec<u32>> = vec![Vec::new(); p];
+            for (r, queue) in queues.iter().enumerate() {
+                let view = &views[r];
+                for &w in queue {
+                    let wu = w as usize;
+                    let cw = view[wu];
+                    let lost = g.nets(wu).iter().any(|&net| {
+                        g.vtxs(net as usize)
+                            .iter()
+                            .any(|&u| u < w && view[u as usize] == cw)
+                    });
+                    if lost {
+                        next_queues[r].push(w);
+                        conflicts += 1;
+                    }
+                }
+            }
+
+            supersteps.push(SuperstepStats {
+                colored,
+                messages,
+                conflicts,
+            });
+            queues = next_queues;
+        }
+
+        // Assemble the global coloring from each owner's view.
+        let mut colors = vec![UNCOLORED; n];
+        for (v, c) in colors.iter_mut().enumerate() {
+            *c = views[self.partition.owner(v)][v];
+        }
+        let num_colors = bgpc::metrics::count_distinct_colors(&colors);
+        DistResult {
+            colors,
+            num_colors,
+            supersteps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpc::verify::verify_bgpc;
+    use graph::Ordering;
+
+    fn instance() -> BipartiteGraph {
+        BipartiteGraph::from_matrix(&sparse::gen::bipartite_uniform(60, 80, 900, 5))
+    }
+
+    #[test]
+    fn single_rank_matches_sequential() {
+        let g = instance();
+        let runner = DistRunner::new(&g, Partition::block(g.n_vertices(), 1));
+        let r = runner.run();
+        verify_bgpc(&g, &r.colors).unwrap();
+        assert_eq!(r.rounds(), 1, "one rank cannot conflict");
+        assert_eq!(r.total_messages(), 0);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let (seq, k) = bgpc::seq::color_bgpc_seq(&g, &order);
+        assert_eq!(r.colors, seq);
+        assert_eq!(r.num_colors, k);
+    }
+
+    #[test]
+    fn multi_rank_converges_and_is_valid() {
+        let g = instance();
+        for p in [2, 4, 8] {
+            for partition in [
+                Partition::block(g.n_vertices(), p),
+                Partition::cyclic(g.n_vertices(), p),
+                Partition::random(g.n_vertices(), p, 3),
+            ] {
+                let runner = DistRunner::new(&g, partition);
+                let r = runner.run();
+                verify_bgpc(&g, &r.colors).unwrap();
+                assert!(r.num_colors >= g.max_net_size());
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_only_on_boundary() {
+        // Two disjoint halves: nets {0..4} touch vertices 0..10, nets
+        // {5..9} touch vertices 10..20, block partition splits exactly
+        // between them → no boundary, no conflicts, one superstep.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![2 * i as u32, 2 * i as u32 + 1]);
+        }
+        for i in 0..5 {
+            rows.push(vec![10 + 2 * i as u32, 10 + 2 * i as u32 + 1]);
+        }
+        let m = sparse::Csr::from_rows(20, &rows);
+        let g = BipartiteGraph::from_matrix(&m);
+        let runner = DistRunner::new(&g, Partition::block(20, 2));
+        assert_eq!(runner.boundary_fraction(), 0.0);
+        let r = runner.run();
+        assert_eq!(r.rounds(), 1);
+        assert_eq!(r.supersteps[0].conflicts, 0);
+        verify_bgpc(&g, &r.colors).unwrap();
+    }
+
+    #[test]
+    fn cyclic_partition_has_larger_boundary_than_block() {
+        let m = sparse::gen::banded(200, 3, 1.0, 1);
+        let g = BipartiteGraph::from_matrix(&m);
+        let block = DistRunner::new(&g, Partition::block(200, 4));
+        let cyclic = DistRunner::new(&g, Partition::cyclic(200, 4));
+        assert!(
+            cyclic.boundary_fraction() > block.boundary_fraction(),
+            "cyclic {} vs block {}",
+            cyclic.boundary_fraction(),
+            block.boundary_fraction()
+        );
+        // and correspondingly more messages
+        let rb = block.run();
+        let rc = cyclic.run();
+        verify_bgpc(&g, &rb.colors).unwrap();
+        verify_bgpc(&g, &rc.colors).unwrap();
+        assert!(rc.total_messages() > rb.total_messages());
+    }
+
+    #[test]
+    fn superstep_queue_shrinks_monotonically_in_colored() {
+        let g = instance();
+        let runner = DistRunner::new(&g, Partition::cyclic(g.n_vertices(), 8));
+        let r = runner.run();
+        for w in r.supersteps.windows(2) {
+            assert!(
+                w[1].colored <= w[0].colored,
+                "queue should shrink: {:?}",
+                r.supersteps
+            );
+        }
+        // conflicts of step i == colored of step i+1
+        for w in r.supersteps.windows(2) {
+            assert_eq!(w[0].conflicts, w[1].colored);
+        }
+        assert_eq!(r.supersteps.last().unwrap().conflicts, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_matrix(&sparse::Csr::empty(0, 0));
+        let runner = DistRunner::new(&g, Partition::block(0, 4));
+        let r = runner.run();
+        assert!(r.colors.is_empty());
+        assert_eq!(r.rounds(), 0);
+    }
+}

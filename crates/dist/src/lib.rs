@@ -1,0 +1,31 @@
+//! `dist` — a simulated distributed-memory speculative coloring framework.
+//!
+//! The paper's related work (§VII) credits the speculative
+//! color/detect/repair loop to distributed-memory BGPC/D2GC frameworks
+//! (Boman, Bozdağ, Çatalyürek, Gebremedhin, Manne et al.): each rank owns
+//! a partition of the vertices, colors them in supersteps, exchanges
+//! boundary colors, and re-queues conflict losers. This crate implements
+//! that framework as a **deterministic BSP simulation** — ranks are plain
+//! data, "messages" are explicit buffers flushed at superstep boundaries —
+//! so its behaviour (rounds, conflicts, message volume) can be studied on
+//! one machine and contrasted with the paper's shared-memory algorithms.
+//!
+//! What the simulation preserves from the real systems:
+//!
+//! * the **owner-computes** rule — only the owner colors a vertex;
+//! * **stale boundary knowledge** — within a superstep, remote colors are
+//!   those received at the previous flush, which is the actual source of
+//!   distributed conflicts;
+//! * **id-ordered conflict resolution** — of a conflicting cross-rank
+//!   pair, the larger id is re-queued (matching the shared-memory rule);
+//! * per-superstep accounting of conflicts and message volume.
+//!
+//! What it abstracts away: network latency/topology and overlap of
+//! communication with computation (the paper does not evaluate those
+//! either — see DESIGN.md §4).
+
+pub mod bsp;
+pub mod partition;
+
+pub use bsp::{DistResult, DistRunner, SuperstepStats};
+pub use partition::Partition;

@@ -1,0 +1,171 @@
+//! Vertex-to-rank partitioning.
+
+use self::rand_like::shuffle_u32;
+
+/// An assignment of vertices to `n_ranks` owners.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    owner: Vec<u32>,
+    n_ranks: usize,
+}
+
+impl Partition {
+    /// Contiguous block partition: rank `r` owns the `r`-th slice of the
+    /// vertex range (the usual default for matrices with locality).
+    pub fn block(n_vertices: usize, n_ranks: usize) -> Self {
+        let n_ranks = n_ranks.max(1);
+        let mut owner = vec![0u32; n_vertices];
+        for (v, o) in owner.iter_mut().enumerate() {
+            *o = (v * n_ranks / n_vertices.max(1)) as u32;
+        }
+        Self { owner, n_ranks }
+    }
+
+    /// Round-robin (cyclic) partition: vertex `v` belongs to `v mod p` —
+    /// maximizes boundary, the worst case for communication.
+    pub fn cyclic(n_vertices: usize, n_ranks: usize) -> Self {
+        let n_ranks = n_ranks.max(1);
+        let owner = (0..n_vertices).map(|v| (v % n_ranks) as u32).collect();
+        Self { owner, n_ranks }
+    }
+
+    /// Seeded random balanced partition.
+    pub fn random(n_vertices: usize, n_ranks: usize, seed: u64) -> Self {
+        let n_ranks = n_ranks.max(1);
+        let mut ids: Vec<u32> = (0..n_vertices as u32).collect();
+        shuffle_u32(&mut ids, seed);
+        let mut owner = vec![0u32; n_vertices];
+        for (pos, &v) in ids.iter().enumerate() {
+            owner[v as usize] = (pos % n_ranks) as u32;
+        }
+        Self { owner, n_ranks }
+    }
+
+    /// Builds from an explicit owner array.
+    ///
+    /// # Panics
+    /// Panics if any owner id is out of range.
+    pub fn from_owners(owner: Vec<u32>, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        assert!(
+            owner.iter().all(|&o| (o as usize) < n_ranks),
+            "owner id out of range"
+        );
+        Self { owner, n_ranks }
+    }
+
+    /// Owner rank of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: usize) -> usize {
+        self.owner[v] as usize
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// The vertices owned by each rank.
+    pub fn rank_vertices(&self) -> Vec<Vec<u32>> {
+        let mut per_rank = vec![Vec::new(); self.n_ranks];
+        for (v, &o) in self.owner.iter().enumerate() {
+            per_rank[o as usize].push(v as u32);
+        }
+        per_rank
+    }
+
+    /// Load imbalance: max rank size / mean rank size (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.owner.is_empty() {
+            return 1.0;
+        }
+        let sizes: Vec<usize> = self.rank_vertices().iter().map(|r| r.len()).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let mean = self.owner.len() as f64 / self.n_ranks as f64;
+        max / mean
+    }
+}
+
+/// Tiny internal xorshift-based shuffle so this crate does not need the
+/// full `rand` stack (determinism is all that matters here).
+mod rand_like {
+    pub fn shuffle_u32(data: &mut [u32], seed: u64) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..data.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_is_contiguous_and_balanced() {
+        let p = Partition::block(10, 3);
+        assert_eq!(p.n_ranks(), 3);
+        let ranks = p.rank_vertices();
+        assert_eq!(ranks.iter().map(|r| r.len()).sum::<usize>(), 10);
+        for r in &ranks {
+            for w in r.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "block partitions are contiguous");
+            }
+        }
+        assert!(p.imbalance() <= 1.5);
+    }
+
+    #[test]
+    fn cyclic_partition_alternates() {
+        let p = Partition::cyclic(6, 2);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(1), 1);
+        assert_eq!(p.owner(2), 0);
+        assert!((p.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_partition_is_balanced_and_seeded() {
+        let a = Partition::random(100, 4, 7);
+        let b = Partition::random(100, 4, 7);
+        assert_eq!(a.rank_vertices(), b.rank_vertices());
+        assert!(a.imbalance() <= 1.01);
+        let c = Partition::random(100, 4, 8);
+        assert_ne!(a.rank_vertices(), c.rank_vertices());
+    }
+
+    #[test]
+    fn from_owners_validates() {
+        let p = Partition::from_owners(vec![0, 1, 0], 2);
+        assert_eq!(p.owner(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_owner_rejected() {
+        Partition::from_owners(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let p = Partition::block(5, 1);
+        assert!(p.rank_vertices()[0].len() == 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the BSP distributed baseline: any partition of any
+//! bipartite pattern must converge to a valid coloring, and one rank must
+//! equal the sequential greedy.
+
+use proptest::prelude::*;
+
+use dist::{DistRunner, Partition};
+use graph::BipartiteGraph;
+use sparse::Csr;
+
+fn arb_bipartite() -> impl Strategy<Value = Csr> {
+    (1usize..16, 1usize..20).prop_flat_map(|(nrows, ncols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..ncols as u32, 0..8usize),
+            nrows,
+        )
+        .prop_map(move |rows| Csr::from_rows(ncols, &rows))
+    })
+}
+
+fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
+    (1usize..6, 0u64..1000).prop_map(move |(p, seed)| match seed % 3 {
+        0 => Partition::block(n, p),
+        1 => Partition::cyclic(n, p),
+        _ => Partition::random(n, p, seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_partition_converges_to_valid_coloring(
+        matrix in arb_bipartite(),
+        pseed in 0u64..1000,
+        ranks in 1usize..6,
+    ) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let n = g.n_vertices();
+        let partition = match pseed % 3 {
+            0 => Partition::block(n, ranks),
+            1 => Partition::cyclic(n, ranks),
+            _ => Partition::random(n, ranks, pseed),
+        };
+        let runner = DistRunner::new(&g, partition);
+        let r = runner.run();
+        prop_assert!(bgpc::verify::verify_bgpc(&g, &r.colors).is_ok());
+        prop_assert!(r.num_colors >= g.max_net_size());
+        // last superstep has no conflicts by definition of termination
+        if let Some(last) = r.supersteps.last() {
+            prop_assert_eq!(last.conflicts, 0);
+        }
+    }
+
+    #[test]
+    fn one_rank_equals_sequential(matrix in arb_bipartite()) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let runner = DistRunner::new(&g, Partition::block(g.n_vertices(), 1));
+        let r = runner.run();
+        let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+        let (seq, k) = bgpc::seq::color_bgpc_seq(&g, &order);
+        prop_assert_eq!(r.num_colors, k);
+        prop_assert_eq!(r.total_messages(), 0);
+        prop_assert_eq!(r.colors, seq);
+    }
+
+    #[test]
+    fn partitions_are_total_assignments(n in 0usize..200, p in 1usize..8, seed in 0u64..100) {
+        for partition in [
+            Partition::block(n, p),
+            Partition::cyclic(n, p),
+            Partition::random(n, p, seed),
+        ] {
+            prop_assert_eq!(partition.len(), n);
+            let per_rank = partition.rank_vertices();
+            let total: usize = per_rank.iter().map(|r| r.len()).sum();
+            prop_assert_eq!(total, n);
+            for (r, vs) in per_rank.iter().enumerate() {
+                for &v in vs {
+                    prop_assert_eq!(partition.owner(v as usize), r);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_strategy_used_by_arb_helper_compiles() {
+    // keep the helper exercised even though proptest inlines its own
+    let strat = arb_partition(10);
+    let _ = &strat;
+}

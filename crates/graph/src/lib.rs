@@ -1,0 +1,24 @@
+//! `graph` — coloring-oriented graph substrate.
+//!
+//! Two views back the coloring algorithms:
+//!
+//! * [`BipartiteGraph`] — the BGPC input: vertices (`V_A`, matrix columns)
+//!   on one side, nets (`V_B`, matrix rows) on the other, with CSR adjacency
+//!   in *both* directions since vertex-based kernels walk `nets(u)` →
+//!   `vtxs(v)` while net-based kernels walk `vtxs(v)` directly.
+//! * [`Graph`] — the D2GC input: a simple undirected graph in CSR form.
+//!
+//! [`order`] implements the vertex orderings the paper evaluates (natural
+//! and ColPack's smallest-last, plus largest-first and random for
+//! completeness); orderings permute the *processing order* of the work
+//! queue, not the graph itself.
+
+pub mod bipartite;
+pub mod order;
+pub mod rcm;
+pub mod unipartite;
+
+pub use bipartite::BipartiteGraph;
+pub use order::Ordering;
+pub use rcm::{bandwidth, rcm_permutation};
+pub use unipartite::Graph;

@@ -1,0 +1,120 @@
+//! Shared chunk cursor used by dynamic scheduling.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An atomic cursor over `0..len` that hands out fixed-size chunks.
+///
+/// This is the heart of `schedule(dynamic, chunk)`: every claim is a single
+/// `fetch_add`, so contention is one cache line regardless of team size.
+/// `Relaxed` ordering is sufficient — the chunks themselves carry no payload,
+/// and the fork/join barriers in [`crate::Pool`] provide the happens-before
+/// edges for the data the chunks index into.
+#[derive(Debug)]
+pub struct ChunkCursor {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkCursor {
+    /// Creates a cursor over `0..len` yielding chunks of at most `chunk`
+    /// indices. A `chunk` of 0 is treated as 1.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next chunk, or `None` when the range is exhausted.
+    #[inline]
+    pub fn claim(&self) -> Option<Range<usize>> {
+        // `fetch_add` may run past `len` when many threads race on the last
+        // chunk; the comparison below discards those empty claims. Overflow
+        // is unreachable in practice: it would need `usize::MAX / chunk`
+        // claims in one parallel region.
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Total length of the underlying range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Configured chunk size.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_cover_range_exactly_once() {
+        let cursor = ChunkCursor::new(103, 10);
+        let mut seen = [false; 103];
+        while let Some(range) = cursor.claim() {
+            for i in range {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped_to_one() {
+        let cursor = ChunkCursor::new(3, 0);
+        assert_eq!(cursor.chunk(), 1);
+        assert_eq!(cursor.claim(), Some(0..1));
+        assert_eq!(cursor.claim(), Some(1..2));
+        assert_eq!(cursor.claim(), Some(2..3));
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let cursor = ChunkCursor::new(0, 64);
+        assert!(cursor.is_empty());
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn chunk_larger_than_range() {
+        let cursor = ChunkCursor::new(5, 100);
+        assert_eq!(cursor.claim(), Some(0..5));
+        assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_range() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cursor = ChunkCursor::new(100_000, 7);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = 0usize;
+                    while let Some(r) = cursor.claim() {
+                        local += r.len();
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 100_000);
+    }
+}

@@ -1,0 +1,434 @@
+//! Fork/join thread pool with caller participation.
+
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cursor::ChunkCursor;
+
+/// Type-erased parallel region body: `f(thread_id)`.
+///
+/// The pointer is only dereferenced between the publish in
+/// [`Pool::run`] and the completion barrier at the end of the same call, so
+/// the `'static` lifetime produced by the transmute in `run` never outlives
+/// the borrow it erases.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the closure behind `f` is `Sync`, and `Job` values are only read
+// (never mutated) by workers while the owning `run` call keeps the referent
+// alive; see `Job` docs.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct State {
+    /// Monotonically increasing region id; workers run once per increment.
+    epoch: u64,
+    /// Current region body, valid while `remaining > 0`.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current region.
+    remaining: usize,
+    /// Number of workers that panicked in the current region.
+    panics: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new epoch (or shutdown) is available.
+    work_cv: Condvar,
+    /// Signals the caller that all workers finished the region.
+    done_cv: Condvar,
+}
+
+/// A fixed team of threads executing fork/join parallel regions.
+///
+/// A pool of `t` logical threads owns `t - 1` OS worker threads; the caller
+/// of [`run`](Pool::run) participates as thread 0, exactly like the OpenMP
+/// master thread. `Pool::new(1)` therefore spawns nothing and runs regions
+/// inline, which makes single-thread baselines free of scheduling overhead.
+///
+/// Threads are created once and reused for every region, so per-region cost
+/// is one mutex round-trip plus condvar wakeups — negligible against the
+/// millisecond-scale coloring iterations it schedules.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` logical threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panics: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("par-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of logical threads in the team (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `f(thread_id)` once on every team member and waits for all
+    /// of them — an `omp parallel` region.
+    ///
+    /// Panics if any team member panics.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the erased borrow is dead before `run` returns — workers
+        // signal completion via `remaining`/`done_cv`, and we block on that
+        // barrier below before `f` can be dropped.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(f_ref as *const _)
+            },
+        };
+
+        if self.threads > 1 {
+            let mut state = self.shared.state.lock();
+            debug_assert_eq!(state.remaining, 0, "nested/overlapping run detected");
+            state.job = Some(job);
+            state.epoch += 1;
+            state.remaining = self.threads - 1;
+            state.panics = 0;
+            drop(state);
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is thread 0.
+        let master = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let worker_panics = if self.threads > 1 {
+            let mut state = self.shared.state.lock();
+            while state.remaining > 0 {
+                self.shared.done_cv.wait(&mut state);
+            }
+            state.job = None;
+            state.panics
+        } else {
+            0
+        };
+
+        if let Err(payload) = master {
+            panic::resume_unwind(payload);
+        }
+        assert!(
+            worker_panics == 0,
+            "{worker_panics} pool worker(s) panicked in parallel region"
+        );
+    }
+
+    /// Parallel for over `0..len` with dynamic chunk scheduling — the
+    /// equivalent of `#pragma omp parallel for schedule(dynamic, chunk)`.
+    ///
+    /// `f(thread_id, range)` is invoked for disjoint chunks covering the
+    /// range exactly once.
+    pub fn for_dynamic<F>(&self, len: usize, chunk: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let cursor = ChunkCursor::new(len, chunk);
+        self.run(|tid| {
+            while let Some(range) = cursor.claim() {
+                f(tid, range);
+            }
+        });
+    }
+
+    /// Parallel for over `0..len` with contiguous static block partitioning —
+    /// the equivalent of `schedule(static)`.
+    pub fn for_static<F>(&self, len: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let t = self.threads;
+        self.run(|tid| {
+            let lo = len * tid / t;
+            let hi = len * (tid + 1) / t;
+            if lo < hi {
+                f(tid, lo..hi);
+            }
+        });
+    }
+
+    /// Parallel map-reduce over `0..len` with dynamic chunking: `map`
+    /// produces a value per chunk, `fold` combines values within a thread,
+    /// and the per-thread results are reduced on the caller after the join
+    /// (an OpenMP `reduction` clause).
+    ///
+    /// `fold` must be associative for the result to be well-defined; it
+    /// need not be commutative across threads because the final reduction
+    /// runs in thread-id order.
+    pub fn reduce<T, M, F>(&self, len: usize, chunk: usize, identity: T, map: M, fold: F) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize, Range<usize>) -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        use std::sync::Mutex;
+        let partials: Vec<Mutex<T>> = (0..self.threads)
+            .map(|_| Mutex::new(identity.clone()))
+            .collect();
+        let cursor = ChunkCursor::new(len, chunk);
+        self.run(|tid| {
+            let mut acc = identity.clone();
+            while let Some(range) = cursor.claim() {
+                acc = fold(acc, map(tid, range));
+            }
+            *partials[tid].lock().unwrap() = acc;
+        });
+        partials
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .fold(identity, &fold)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    let job = state.job.as_ref().expect("epoch advanced without job");
+                    break Job { f: job.f };
+                }
+                shared.work_cv.wait(&mut state);
+            }
+        };
+
+        // SAFETY: `run` keeps the closure alive until `remaining` drops to
+        // zero, which only happens after this call returns.
+        let f = unsafe { &*job.f };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(tid)));
+
+        let mut state = shared.state.lock();
+        if result.is_err() {
+            state.panics += 1;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let hit = AtomicUsize::new(0);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.into_inner(), 1);
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once() {
+        let pool = Pool::new(8);
+        let counts: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|tid| {
+            counts[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let pool = Pool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.into_inner(), 400);
+    }
+
+    #[test]
+    fn for_dynamic_covers_range() {
+        let pool = Pool::new(4);
+        let n = 10_007;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_dynamic(n, 13, |_tid, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_static_covers_range_in_blocks() {
+        let pool = Pool::new(3);
+        let n = 100;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_static(n, |_tid, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_static_handles_more_threads_than_items() {
+        let pool = Pool::new(8);
+        let marks: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_static(3, |_tid, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = Pool::new(4);
+        pool.for_dynamic(0, 64, |_, _| panic!("must not be called"));
+        pool.for_static(0, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn master_panic_propagates() {
+        let pool = Pool::new(2);
+        pool.run(|tid| {
+            if tid == 0 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker")]
+    fn worker_panic_propagates() {
+        let pool = Pool::new(2);
+        pool.run(|tid| {
+            if tid == 1 {
+                panic!("worker boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        let pool = Pool::new(2);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 1 {
+                    panic!("first region");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The team must still be usable afterwards.
+        let total = AtomicUsize::new(0);
+        pool.run(|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 2);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn reduce_sums_range() {
+        let pool = Pool::new(4);
+        let sum = pool.reduce(
+            10_001,
+            64,
+            0usize,
+            |_tid, range| range.sum::<usize>(),
+            |a, b| a + b,
+        );
+        assert_eq!(sum, 10_001 * 10_000 / 2);
+    }
+
+    #[test]
+    fn reduce_empty_range_is_identity() {
+        let pool = Pool::new(3);
+        let v = pool.reduce(0, 8, 42usize, |_, _| panic!("no chunks"), |a, b| a.max(b));
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn reduce_max_over_blocks() {
+        let data: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 9973) as u32).collect();
+        let pool = Pool::new(4);
+        let expect = *data.iter().max().unwrap();
+        let got = pool.reduce(
+            data.len(),
+            37,
+            0u32,
+            |_tid, range| data[range].iter().copied().max().unwrap_or(0),
+            |a, b| a.max(b),
+        );
+        assert_eq!(got, expect);
+    }
+}

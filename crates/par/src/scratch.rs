@@ -1,0 +1,108 @@
+//! Cache-padded per-thread scratch storage.
+
+use std::cell::UnsafeCell;
+
+use crossbeam::utils::CachePadded;
+
+/// One value of `T` per team thread, each on its own cache line.
+///
+/// The coloring algorithms keep a forbidden-color stamp array and a local
+/// work queue per thread, allocated once and reused across every parallel
+/// region (the paper's "never actually emptied or reset" optimization).
+/// `ThreadScratch` owns those buffers; inside a region each thread borrows
+/// its own slot mutably via [`with`](ThreadScratch::with).
+///
+/// Safety model: slot `tid` may only be accessed from the team member with
+/// that id, and the pool guarantees a single member per id per region, so no
+/// two mutable borrows of the same slot can coexist. The fork/join barriers
+/// in [`crate::Pool::run`] order cross-region accesses.
+pub struct ThreadScratch<T> {
+    slots: Vec<CachePadded<UnsafeCell<T>>>,
+}
+
+// SAFETY: access is partitioned by thread id (one thread per slot at a time)
+// and regions are separated by the pool's fork/join barriers.
+unsafe impl<T: Send> Sync for ThreadScratch<T> {}
+
+impl<T> ThreadScratch<T> {
+    /// Builds `threads` slots using `init(tid)`.
+    pub fn new(threads: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        Self {
+            slots: (0..threads.max(1))
+                .map(|tid| CachePadded::new(UnsafeCell::new(init(tid))))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the scratch set is empty (never true: minimum one slot).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with a mutable borrow of thread `tid`'s slot.
+    ///
+    /// Must only be called from the team member that owns `tid`; calling it
+    /// with another thread's id from inside a parallel region is a data race
+    /// the type system cannot see (hence the `unsafe` block it encapsulates
+    /// — the contract is enforced by convention at every call site, which
+    /// always passes the `tid` handed to the closure by the pool).
+    #[inline]
+    pub fn with<R>(&self, tid: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        // SAFETY: per the documented contract, `tid` identifies the calling
+        // team member, so this is the only live reference to the slot.
+        let slot = unsafe { &mut *self.slots[tid].get() };
+        f(slot)
+    }
+
+    /// Mutable iteration over all slots — requires `&mut self`, so it can
+    /// only happen outside parallel regions (e.g. to merge thread-local
+    /// queues after a join).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|c| c.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+
+    #[test]
+    fn slots_are_independent() {
+        let pool = Pool::new(4);
+        let scratch = ThreadScratch::new(4, |tid| tid * 100);
+        pool.run(|tid| {
+            scratch.with(tid, |v| *v += tid);
+        });
+        let mut scratch = scratch;
+        let values: Vec<usize> = scratch.iter_mut().map(|v| *v).collect();
+        assert_eq!(values, vec![0, 101, 202, 303]);
+    }
+
+    #[test]
+    fn reused_across_regions() {
+        let pool = Pool::new(3);
+        let scratch = ThreadScratch::new(3, |_| Vec::<usize>::new());
+        for round in 0..5 {
+            pool.run(|tid| {
+                scratch.with(tid, |v| v.push(round));
+            });
+        }
+        let mut scratch = scratch;
+        for v in scratch.iter_mut() {
+            assert_eq!(v, &vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn minimum_one_slot() {
+        let scratch = ThreadScratch::new(0, |_| 7u32);
+        assert_eq!(scratch.len(), 1);
+        assert!(!scratch.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Compact binary pattern serialization.
+//!
+//! Matrix Market is the interchange format; this is the *cache* format —
+//! the harness regenerates synthetic instances on every run, and at larger
+//! scales the generators (not the coloring) dominate wall time. The layout
+//! is a fixed little-endian header plus the two CSR arrays, so reading is
+//! one validation pass over `O(nnz)` bytes.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   8 bytes  b"BGPCCSR1"
+//! nrows   8 bytes  u64
+//! ncols   8 bytes  u64
+//! nnz     8 bytes  u64
+//! row_ptr (nrows + 1) × 8 bytes (u64)
+//! col_idx nnz × 4 bytes (u32)
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::Csr;
+
+const MAGIC: &[u8; 8] = b"BGPCCSR1";
+
+/// Errors from the binary reader.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or corrupt file.
+    Format(String),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "I/O error: {e}"),
+            BinError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+/// Writes a pattern in the binary cache format.
+pub fn write_bin<W: Write>(mut w: W, m: &Csr) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(m.nrows() as u64).to_le_bytes())?;
+    w.write_all(&(m.ncols() as u64).to_le_bytes())?;
+    w.write_all(&(m.nnz() as u64).to_le_bytes())?;
+    for &p in m.row_ptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &j in m.col_idx() {
+        w.write_all(&j.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a pattern from the binary cache format, validating all CSR
+/// invariants before returning.
+pub fn read_bin<R: Read>(mut r: R) -> Result<Csr, BinError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(BinError::Format("bad magic".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut R| -> Result<u64, BinError> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let nrows = read_u64(&mut r)? as usize;
+    let ncols = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    // sanity bounds before allocating
+    if nrows > u32::MAX as usize || ncols > u32::MAX as usize {
+        return Err(BinError::Format("dimensions exceed u32".into()));
+    }
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    for _ in 0..=nrows {
+        row_ptr.push(read_u64(&mut r)? as usize);
+    }
+    let mut col_bytes = vec![0u8; nnz * 4];
+    r.read_exact(&mut col_bytes)?;
+    let col_idx: Vec<u32> = col_bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    // Csr::from_parts validates the invariants but panics; pre-check the
+    // cheap global ones and catch the rest.
+    if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&nnz) {
+        return Err(BinError::Format("row_ptr endpoints inconsistent".into()));
+    }
+    std::panic::catch_unwind(|| Csr::from_parts(nrows, ncols, row_ptr, col_idx))
+        .map_err(|_| BinError::Format("CSR invariants violated".into()))
+}
+
+/// Writes to a file path.
+pub fn write_bin_file(path: impl AsRef<Path>, m: &Csr) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_bin(std::io::BufWriter::new(f), m)
+}
+
+/// Reads from a file path.
+pub fn read_bin_file(path: impl AsRef<Path>) -> Result<Csr, BinError> {
+    let f = std::fs::File::open(path)?;
+    read_bin(std::io::BufReader::new(f))
+}
+
+/// Loads a dataset instance through a cache directory: on a cache hit the
+/// pattern is read from disk, otherwise it is generated and cached.
+pub fn load_cached(
+    dataset: crate::Dataset,
+    scale: f64,
+    seed: u64,
+    cache_dir: impl AsRef<Path>,
+) -> Result<Csr, BinError> {
+    let dir = cache_dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let key = format!("{}_{:e}_{}.bgpccsr", dataset.name().replace('/', "_"), scale, seed);
+    let path = dir.join(key);
+    if path.exists() {
+        if let Ok(m) = read_bin_file(&path) {
+            return Ok(m);
+        }
+        // fall through on a corrupt cache entry and regenerate
+    }
+    let m = dataset.build(scale, seed).matrix;
+    write_bin_file(&path, &m)?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = crate::gen::bipartite_uniform(30, 40, 300, 9);
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &m).unwrap();
+        let back = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = Csr::empty(3, 7);
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &m).unwrap();
+        assert_eq!(read_bin(buf.as_slice()).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_bin(&b"NOTMAGIC........"[..]).unwrap_err();
+        assert!(matches!(err, BinError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let m = crate::gen::bipartite_uniform(10, 10, 40, 1);
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &m).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_bin(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_col_idx_rejected() {
+        let m = Csr::from_rows(3, &[vec![0], vec![1]]);
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &m).unwrap();
+        // clobber a column index with an out-of-range value
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_bin(buf.as_slice()).unwrap_err(),
+            BinError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn cache_hits_and_misses() {
+        let dir = std::env::temp_dir().join(format!("bgpc-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = load_cached(crate::Dataset::AfShell10, 0.002, 1, &dir).unwrap();
+        // second call must hit the cache and agree
+        let b = load_cached(crate::Dataset::AfShell10, 0.002, 1, &dir).unwrap();
+        assert_eq!(a, b);
+        // one cache file created
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

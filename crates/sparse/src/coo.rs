@@ -1,0 +1,188 @@
+//! Triplet (coordinate) pattern builder.
+
+use crate::Csr;
+
+/// A mutable coordinate-format pattern, convertible to [`Csr`].
+///
+/// Duplicates are tolerated on input and collapsed during conversion, which
+/// is what Matrix Market readers and random generators need.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32)>,
+}
+
+impl Coo {
+    /// Creates an empty builder with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut coo = Self::new(nrows, ncols);
+        coo.entries.reserve(cap);
+        coo
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of pushed entries (before deduplication).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records entry `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    #[inline]
+    pub fn push(&mut self, i: usize, j: usize) {
+        assert!(i < self.nrows, "row {i} out of range ({})", self.nrows);
+        assert!(j < self.ncols, "col {j} out of range ({})", self.ncols);
+        self.entries.push((i as u32, j as u32));
+    }
+
+    /// Records both `(i, j)` and `(j, i)` (square builders only).
+    pub fn push_symmetric(&mut self, i: usize, j: usize) {
+        self.push(i, j);
+        if i != j {
+            self.push(j, i);
+        }
+    }
+
+    /// Converts to CSR, sorting rows and collapsing duplicates.
+    pub fn into_csr(mut self) -> Csr {
+        // Counting-sort by row, then sort each row's columns.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &(i, _) in &self.entries {
+            counts[i as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0u32; self.entries.len()];
+        let mut cursor = counts.clone();
+        for &(i, j) in &self.entries {
+            let slot = &mut cursor[i as usize];
+            cols[*slot] = j;
+            *slot += 1;
+        }
+        self.entries.clear();
+        self.entries.shrink_to_fit();
+
+        // Sort and dedup per row, compacting in place.
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        let mut write = 0usize;
+        for i in 0..self.nrows {
+            let (lo, hi) = (counts[i], counts[i + 1]);
+            let row = &mut cols[lo..hi];
+            row.sort_unstable();
+            let mut prev: Option<u32> = None;
+            let mut w = write;
+            for k in lo..hi {
+                let j = cols[k];
+                if prev != Some(j) {
+                    cols[w] = j;
+                    w += 1;
+                    prev = Some(j);
+                }
+            }
+            write = w;
+            row_ptr.push(write);
+        }
+        cols.truncate(write);
+        Csr::from_parts(self.nrows, self.ncols, row_ptr, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 0);
+        coo.push(0, 1);
+        coo.push(0, 0);
+        coo.push(1, 2);
+        let m = coo.into_csr();
+        assert_eq!(m.row(0), &[0, 1]);
+        assert_eq!(m.row(1), &[2]);
+        assert_eq!(m.row(2), &[0]);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let mut coo = Coo::new(2, 2);
+        for _ in 0..10 {
+            coo.push(0, 1);
+            coo.push(1, 0);
+        }
+        let m = coo.into_csr();
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn symmetric_push() {
+        let mut coo = Coo::new(3, 3);
+        coo.push_symmetric(0, 2);
+        coo.push_symmetric(1, 1);
+        let m = coo.into_csr();
+        assert!(m.is_structurally_symmetric());
+        assert_eq!(m.nnz(), 3); // (0,2), (2,0), (1,1)
+    }
+
+    #[test]
+    fn empty_builder() {
+        let coo = Coo::new(4, 5);
+        assert!(coo.is_empty());
+        let m = coo.into_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_push_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0);
+    }
+
+    #[test]
+    fn large_unsorted_input_sorted_correctly() {
+        let mut coo = Coo::new(100, 100);
+        // reverse order pushes
+        for i in (0..100).rev() {
+            for j in (0..100).rev().step_by(7) {
+                coo.push(i, j);
+            }
+        }
+        let m = coo.into_csr();
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 100 * ((0..100).step_by(7).count()));
+    }
+}

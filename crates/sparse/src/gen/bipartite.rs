@@ -1,0 +1,175 @@
+//! Skewed bipartite (rating-matrix) generator.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::{Coo, Csr};
+
+/// Generates a rectangular pattern whose *row* (net) sizes follow a
+/// truncated Zipf-like distribution — the structural signature of rating
+/// matrices such as MovieLens, where a few blockbuster movies are rated by
+/// a large fraction of all users.
+///
+/// * `nrows` — number of nets (e.g. movies),
+/// * `ncols` — number of vertices to be colored (e.g. users),
+/// * `target_nnz` — approximate number of entries,
+/// * `exponent` — Zipf exponent for the net-size distribution (≈1.0 for
+///   rating data),
+/// * `max_row` — cap on the largest net (Table II's "max column degree"),
+///
+/// Row sizes are drawn proportional to `rank^(−exponent)`, rescaled to hit
+/// `target_nnz`, clamped to `[1, min(max_row, ncols)]`; members of each row
+/// are sampled without replacement. Rows are randomly shuffled so the big
+/// nets are not clustered at low ids (which would bias chunked scheduling).
+pub fn bipartite_skewed(
+    nrows: usize,
+    ncols: usize,
+    target_nnz: usize,
+    exponent: f64,
+    max_row: usize,
+    seed: u64,
+) -> Csr {
+    assert!(nrows > 0 && ncols > 0);
+    let mut rng = super::seeded_rng(seed);
+    let max_row = max_row.min(ncols).max(1);
+
+    // Zipf weights over ranks 1..=nrows.
+    let weights: Vec<f64> = (1..=nrows).map(|r| (r as f64).powf(-exponent)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let scale = target_nnz as f64 / total_w;
+
+    // Assign ranks to row ids in shuffled order.
+    let mut order: Vec<usize> = (0..nrows).collect();
+    shuffle(&mut order, &mut rng);
+
+    let mut sizes = vec![0usize; nrows];
+    for (rank, &row) in order.iter().enumerate() {
+        let want = (weights[rank] * scale).round() as usize;
+        sizes[row] = want.clamp(1, max_row);
+    }
+
+    let mut coo = Coo::with_capacity(nrows, ncols, sizes.iter().sum());
+    let mut stamp = vec![u32::MAX; ncols];
+    for (row, &size) in sizes.iter().enumerate() {
+        // Sample `size` distinct columns. For rows that cover most of the
+        // column range, sampling with a stamp array stays O(size) expected.
+        let mut picked = 0usize;
+        while picked < size {
+            let j = rng.gen_range(0..ncols);
+            if stamp[j] != row as u32 {
+                stamp[j] = row as u32;
+                coo.push(row, j);
+                picked += 1;
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Fisher–Yates shuffle with the workspace RNG (avoids pulling in
+/// `rand::seq` trait imports at call sites).
+fn shuffle<T>(data: &mut [T], rng: &mut impl Rng) {
+    for i in (1..data.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        data.swap(i, j);
+    }
+}
+
+/// Samples an index from a discrete cumulative distribution (used by tests
+/// and downstream crates that build custom skews).
+pub struct Cdf {
+    cum: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if weights are empty or sum to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0);
+            acc += w;
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "weights sum to zero");
+        Self { cum }
+    }
+}
+
+impl Distribution<usize> for Cdf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cum.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cum
+            .binary_search_by(|probe| probe.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DegreeStats;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = bipartite_skewed(200, 1000, 5000, 1.0, 400, 9);
+        let b = bipartite_skewed(200, 1000, 5000, 1.0, 400, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.nrows(), 200);
+        assert_eq!(a.ncols(), 1000);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn nnz_near_target() {
+        let m = bipartite_skewed(500, 2000, 20_000, 1.0, 1500, 4);
+        let nnz = m.nnz() as f64;
+        assert!(
+            (nnz - 20_000.0).abs() / 20_000.0 < 0.25,
+            "nnz {} too far from target",
+            nnz
+        );
+    }
+
+    #[test]
+    fn row_sizes_are_heavy_tailed_and_capped() {
+        let m = bipartite_skewed(300, 5000, 30_000, 1.1, 900, 17);
+        let s = DegreeStats::rows(&m);
+        assert!(s.max <= 900);
+        assert!(s.min >= 1);
+        assert!(s.max as f64 > 3.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn rows_have_distinct_columns() {
+        let m = bipartite_skewed(50, 60, 2000, 0.8, 60, 23);
+        m.validate().unwrap(); // strict ordering implies distinct
+    }
+
+    #[test]
+    fn cdf_sampling_is_in_range() {
+        let cdf = Cdf::new(&[1.0, 0.0, 3.0]);
+        let mut rng = crate::gen::seeded_rng(0);
+        for _ in 0..100 {
+            let i = cdf.sample(&mut rng);
+            assert!(i < 3);
+            assert_ne!(i, 1, "zero-weight bucket sampled");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cdf_rejects_zero_total() {
+        Cdf::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Mesh/stencil and banded generators (quasi-uniform degree families).
+
+use rand::Rng;
+
+use crate::{Coo, Csr};
+
+/// 2D grid with a `(2r+1)²−1`-point neighborhood (Moore neighborhood of
+/// radius `r`), excluding the diagonal. Structurally symmetric.
+///
+/// `radius = 1` gives the classic 8-point stencil; with the diagonal it
+/// would be the 9-point stencil.
+pub fn grid2d(nx: usize, ny: usize, radius: usize) -> Csr {
+    let n = nx * ny;
+    let r = radius as isize;
+    let mut coo = Coo::with_capacity(n, n, n * (2 * radius + 1).pow(2));
+    for x in 0..nx as isize {
+        for y in 0..ny as isize {
+            let u = (x * ny as isize + y) as usize;
+            for dx in -r..=r {
+                for dy in -r..=r {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (vx, vy) = (x + dx, y + dy);
+                    if vx < 0 || vy < 0 || vx >= nx as isize || vy >= ny as isize {
+                        continue;
+                    }
+                    let v = (vx * ny as isize + vy) as usize;
+                    coo.push(u, v);
+                }
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// 3D grid with a Moore neighborhood of radius `r`, excluding the diagonal.
+/// Structurally symmetric. `radius = 1` ⇒ up to 26 neighbors.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, radius: usize) -> Csr {
+    let n = nx * ny * nz;
+    let r = radius as isize;
+    let mut coo = Coo::with_capacity(n, n, n * 27);
+    let idx = |x: isize, y: isize, z: isize| -> usize {
+        ((x * ny as isize + y) * nz as isize + z) as usize
+    };
+    for x in 0..nx as isize {
+        for y in 0..ny as isize {
+            for z in 0..nz as isize {
+                let u = idx(x, y, z);
+                for dx in -r..=r {
+                    for dy in -r..=r {
+                        for dz in -r..=r {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            let (vx, vy, vz) = (x + dx, y + dy, z + dz);
+                            if vx < 0
+                                || vy < 0
+                                || vz < 0
+                                || vx >= nx as isize
+                                || vy >= ny as isize
+                                || vz >= nz as isize
+                            {
+                                continue;
+                            }
+                            coo.push(u, idx(vx, vy, vz));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Symmetric banded pattern: `(i, j)` present for `0 < |i−j| ≤ half_bw`
+/// with probability `fill`, mirrored. `fill = 1.0` gives a dense band
+/// (af_shell-like shell meshes have nearly full narrow bands).
+pub fn banded(n: usize, half_bw: usize, fill: f64, seed: u64) -> Csr {
+    let mut rng = super::seeded_rng(seed);
+    let mut coo = Coo::with_capacity(n, n, n * half_bw);
+    for i in 0..n {
+        for j in (i + 1)..(i + half_bw + 1).min(n) {
+            if fill >= 1.0 || rng.gen_bool(fill) {
+                coo.push_symmetric(i, j);
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// 3D grid with an arbitrary neighborhood predicate: `keep(dx, dy, dz)`
+/// decides which offsets within `radius` are neighbors. The predicate must
+/// be symmetric (`keep(d) == keep(-d)`) for the result to be structurally
+/// symmetric; `(0,0,0)` is always excluded.
+pub fn grid3d_select(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    radius: usize,
+    keep: impl Fn(isize, isize, isize) -> bool,
+) -> Csr {
+    let n = nx * ny * nz;
+    let r = radius as isize;
+    let mut offsets = Vec::new();
+    for dx in -r..=r {
+        for dy in -r..=r {
+            for dz in -r..=r {
+                if (dx, dy, dz) != (0, 0, 0) && keep(dx, dy, dz) {
+                    offsets.push((dx, dy, dz));
+                }
+            }
+        }
+    }
+    let mut coo = Coo::with_capacity(n, n, n * offsets.len());
+    let idx = |x: isize, y: isize, z: isize| -> usize {
+        ((x * ny as isize + y) * nz as isize + z) as usize
+    };
+    for x in 0..nx as isize {
+        for y in 0..ny as isize {
+            for z in 0..nz as isize {
+                let u = idx(x, y, z);
+                for &(dx, dy, dz) in &offsets {
+                    let (vx, vy, vz) = (x + dx, y + dy, z + dz);
+                    if vx < 0
+                        || vy < 0
+                        || vz < 0
+                        || vx >= nx as isize
+                        || vy >= ny as isize
+                        || vz >= nz as isize
+                    {
+                        continue;
+                    }
+                    coo.push(u, idx(vx, vy, vz));
+                }
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// The classic 18-point stencil (radius-1 Moore neighborhood minus the 8
+/// cube corners) — the `channel` flow-mesh analogue.
+pub fn grid3d_18pt(nx: usize, ny: usize, nz: usize) -> Csr {
+    grid3d_select(nx, ny, nz, 1, |dx, dy, dz| {
+        dx.abs() + dy.abs() + dz.abs() <= 2
+    })
+}
+
+/// Radius-1 Moore mesh plus each radius-2 shell edge with probability `p`
+/// (mirrored, so the result stays structurally symmetric).
+///
+/// Tuning `p` moves the mean degree between 26 and ~124 with a binomial
+/// spread — how we approximate meshes whose degree distribution has a
+/// nonzero standard deviation (bone010, HV15R analogues).
+pub fn grid3d_jittered(nx: usize, ny: usize, nz: usize, p: f64, seed: u64) -> Csr {
+    let mut rng = super::seeded_rng(seed);
+    let n = nx * ny * nz;
+    // Radius-2 shell offsets, upper half only (lexicographically positive)
+    // so each unordered pair is decided by one coin flip.
+    let mut shell = Vec::new();
+    for dx in -2isize..=2 {
+        for dy in -2isize..=2 {
+            for dz in -2isize..=2 {
+                let inf = dx.abs().max(dy.abs()).max(dz.abs());
+                if inf == 2 && (dx, dy, dz) > (0, 0, 0) {
+                    shell.push((dx, dy, dz));
+                }
+            }
+        }
+    }
+    let idx = |x: isize, y: isize, z: isize| -> usize {
+        ((x * ny as isize + y) * nz as isize + z) as usize
+    };
+    let mut coo = Coo::with_capacity(n, n, n * (26 + (shell.len() as f64 * 2.0 * p) as usize));
+    for x in 0..nx as isize {
+        for y in 0..ny as isize {
+            for z in 0..nz as isize {
+                let u = idx(x, y, z);
+                // full radius-1 Moore
+                for dx in -1isize..=1 {
+                    for dy in -1isize..=1 {
+                        for dz in -1isize..=1 {
+                            if (dx, dy, dz) == (0, 0, 0) {
+                                continue;
+                            }
+                            let (vx, vy, vz) = (x + dx, y + dy, z + dz);
+                            if vx < 0
+                                || vy < 0
+                                || vz < 0
+                                || vx >= nx as isize
+                                || vy >= ny as isize
+                                || vz >= nz as isize
+                            {
+                                continue;
+                            }
+                            coo.push(u, idx(vx, vy, vz));
+                        }
+                    }
+                }
+                // sampled radius-2 shell, mirrored
+                for &(dx, dy, dz) in &shell {
+                    let (vx, vy, vz) = (x + dx, y + dy, z + dz);
+                    if vx < 0
+                        || vy < 0
+                        || vz < 0
+                        || vx >= nx as isize
+                        || vy >= ny as isize
+                        || vz >= nz as isize
+                    {
+                        continue;
+                    }
+                    if rng.gen_bool(p) {
+                        coo.push_symmetric(u, idx(vx, vy, vz));
+                    }
+                }
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Kronecker block expansion: each vertex of `base` becomes a group of
+/// `block` vertices; two vertices are adjacent iff their groups are equal
+/// or adjacent in `base` (minus self-loops).
+///
+/// This is how multi-degree-of-freedom finite-element matrices arise from
+/// a node mesh: a 3-DOF elasticity problem on a mesh of degree `d` yields
+/// degrees `(d + 1)·3 − 1` — the structure behind matrices like bone010.
+pub fn kron_block(base: &Csr, block: usize) -> Csr {
+    assert!(block >= 1);
+    assert_eq!(base.nrows(), base.ncols(), "kron_block needs a square base");
+    let n = base.nrows() * block;
+    let mut coo = Coo::with_capacity(n, n, (base.nnz() + base.nrows()) * block * block);
+    for g in 0..base.nrows() {
+        // intra-group dense block (no self-loops)
+        for a in 0..block {
+            for b in 0..block {
+                if a != b {
+                    coo.push(g * block + a, g * block + b);
+                }
+            }
+        }
+        // inter-group blocks along base edges
+        for &h in base.row(g) {
+            let h = h as usize;
+            for a in 0..block {
+                for b in 0..block {
+                    coo.push(g * block + a, h * block + b);
+                }
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DegreeStats;
+
+    #[test]
+    fn grid2d_radius1_interior_degree_is_8() {
+        let m = grid2d(5, 5, 1);
+        assert!(m.is_structurally_symmetric());
+        // interior vertex (2,2) = index 12
+        assert_eq!(m.row_len(12), 8);
+        // corner vertex (0,0)
+        assert_eq!(m.row_len(0), 3);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn grid2d_radius2_max_degree_24() {
+        let m = grid2d(7, 7, 2);
+        let s = DegreeStats::rows(&m);
+        assert_eq!(s.max, 24);
+    }
+
+    #[test]
+    fn grid3d_radius1_interior_degree_is_26() {
+        let m = grid3d(4, 4, 4, 1);
+        assert!(m.is_structurally_symmetric());
+        let s = DegreeStats::rows(&m);
+        assert_eq!(s.max, 26);
+        assert_eq!(s.min, 7); // corner
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn banded_full_fill_degrees() {
+        let m = banded(10, 3, 1.0, 1);
+        assert!(m.is_structurally_symmetric());
+        let s = DegreeStats::rows(&m);
+        assert_eq!(s.max, 6); // interior: 3 on each side
+        assert_eq!(s.min, 3); // end rows
+    }
+
+    #[test]
+    fn banded_partial_fill_is_deterministic() {
+        let a = banded(50, 5, 0.5, 42);
+        let b = banded(50, 5, 0.5, 42);
+        assert_eq!(a, b);
+        let c = banded(50, 5, 0.5, 43);
+        assert_ne!(a, c);
+        assert!(a.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn grid3d_18pt_interior_degree() {
+        let m = grid3d_18pt(5, 5, 5);
+        assert!(m.is_structurally_symmetric());
+        let s = DegreeStats::rows(&m);
+        assert_eq!(s.max, 18);
+    }
+
+    #[test]
+    fn grid3d_select_symmetric_predicate() {
+        // von Neumann (6-point) stencil
+        let m = grid3d_select(4, 4, 4, 1, |dx, dy, dz| dx.abs() + dy.abs() + dz.abs() == 1);
+        assert!(m.is_structurally_symmetric());
+        let s = DegreeStats::rows(&m);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.min, 3);
+    }
+
+    #[test]
+    fn grid3d_jittered_bounds_and_symmetry() {
+        let m = grid3d_jittered(6, 6, 6, 0.3, 21);
+        assert!(m.is_structurally_symmetric());
+        let s = DegreeStats::rows(&m);
+        assert!(s.max >= 26, "expected extras beyond Moore: {}", s.max);
+        assert!(s.max <= 124);
+        assert!(s.std_dev > 1.0, "jitter should add spread: {}", s.std_dev);
+        assert_eq!(grid3d_jittered(6, 6, 6, 0.3, 21), m);
+    }
+
+    #[test]
+    fn grid3d_jittered_zero_p_is_moore() {
+        let a = grid3d_jittered(4, 4, 4, 0.0, 1);
+        let b = grid3d(4, 4, 4, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kron_block_degrees_follow_dof_formula() {
+        // 2D Moore grid (interior degree 8) with 3 DOF per node:
+        // expanded interior degree = (8 + 1) * 3 - 1 = 26.
+        let base = grid2d(6, 6, 1);
+        let m = kron_block(&base, 3);
+        assert_eq!(m.nrows(), 36 * 3);
+        assert!(m.is_structurally_symmetric());
+        let s = DegreeStats::rows(&m);
+        assert_eq!(s.max, (8 + 1) * 3 - 1);
+        // corner node: degree 3 → (3 + 1) * 3 - 1 = 11
+        assert_eq!(s.min, 11);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn kron_block_of_one_is_base_plus_nothing() {
+        let base = grid2d(4, 4, 1);
+        assert_eq!(kron_block(&base, 1), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn kron_block_rejects_rectangular() {
+        let rect = Csr::from_parts(1, 2, vec![0, 1], vec![1]);
+        kron_block(&rect, 2);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let m = grid2d(1, 1, 1);
+        assert_eq!(m.nnz(), 0);
+        let m = grid3d(1, 1, 2, 1);
+        assert_eq!(m.nnz(), 2);
+        let m = banded(1, 4, 1.0, 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic synthetic pattern generators.
+//!
+//! These stand in for the paper's UFL/SuiteSparse downloads (see DESIGN.md
+//! §4). Every generator is seeded and uses a portable ChaCha RNG, so the
+//! same `(parameters, seed)` pair yields the identical pattern on every
+//! platform and run — experiments are reproducible byte-for-byte.
+//!
+//! The generators cover the structural families in the paper's test-bed:
+//!
+//! * [`grid`] — 2D/3D mesh stencils and banded systems (af_shell10,
+//!   channel, bone010, nlpkkt120, HV15R analogues): quasi-uniform degrees.
+//! * [`rmat`] — recursive-matrix power-law graphs (uk-2002, coPapersDBLP
+//!   analogues): heavy-tailed degrees.
+//! * [`bipartite`] — rectangular patterns with skewed net-size
+//!   distributions (20M_movielens analogue).
+//! * [`random`] — Erdős–Rényi and uniform bipartite noise, used by tests
+//!   and ablations.
+
+pub mod bipartite;
+pub mod grid;
+pub mod random;
+pub mod rmat;
+
+pub use bipartite::bipartite_skewed;
+pub use grid::{banded, grid2d, grid3d, grid3d_18pt, grid3d_jittered, grid3d_select, kron_block};
+pub use random::{bipartite_uniform, erdos_renyi};
+pub use rmat::{chung_lu, rmat, RmatProbs};
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the workspace-standard seeded RNG.
+pub(crate) fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

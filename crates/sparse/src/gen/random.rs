@@ -1,0 +1,99 @@
+//! Uniform random pattern generators (tests and ablations).
+
+use rand::Rng;
+
+use crate::{Coo, Csr};
+
+/// Erdős–Rényi G(n, m): `nedges` distinct undirected edges, no self-loops,
+/// stored symmetrically.
+pub fn erdos_renyi(n: usize, nedges: usize, seed: u64) -> Csr {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        nedges <= max_edges,
+        "requested {nedges} edges but only {max_edges} possible"
+    );
+    let mut rng = super::seeded_rng(seed);
+    let mut coo = Coo::with_capacity(n, n, nedges * 2);
+    let mut seen = std::collections::HashSet::with_capacity(nedges * 2);
+    let mut added = 0usize;
+    while added < nedges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            coo.push_symmetric(key.0, key.1);
+            added += 1;
+        }
+    }
+    coo.into_csr()
+}
+
+/// Uniform random bipartite pattern with exactly `nnz` distinct entries.
+pub fn bipartite_uniform(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Csr {
+    let cells = nrows.saturating_mul(ncols);
+    assert!(nnz <= cells, "requested {nnz} entries in {cells} cells");
+    let mut rng = super::seeded_rng(seed);
+    let mut coo = Coo::with_capacity(nrows, ncols, nnz);
+    let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+    let mut added = 0usize;
+    while added < nnz {
+        let i = rng.gen_range(0..nrows);
+        let j = rng.gen_range(0..ncols);
+        if seen.insert((i, j)) {
+            coo.push(i, j);
+            added += 1;
+        }
+    }
+    coo.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_exact_edge_count_and_symmetry() {
+        let m = erdos_renyi(100, 500, 1);
+        assert_eq!(m.nnz(), 1000); // stored both ways
+        assert!(m.is_structurally_symmetric());
+        for i in 0..m.nrows() {
+            assert!(!m.contains(i, i as u32));
+        }
+    }
+
+    #[test]
+    fn er_deterministic() {
+        assert_eq!(erdos_renyi(50, 100, 9), erdos_renyi(50, 100, 9));
+        assert_ne!(erdos_renyi(50, 100, 9), erdos_renyi(50, 100, 10));
+    }
+
+    #[test]
+    fn er_complete_graph() {
+        let m = erdos_renyi(5, 10, 3);
+        assert_eq!(m.nnz(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn er_rejects_impossible_count() {
+        erdos_renyi(3, 4, 0);
+    }
+
+    #[test]
+    fn bipartite_exact_nnz() {
+        let m = bipartite_uniform(20, 30, 100, 5);
+        assert_eq!(m.nnz(), 100);
+        assert_eq!(m.nrows(), 20);
+        assert_eq!(m.ncols(), 30);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn bipartite_full() {
+        let m = bipartite_uniform(4, 3, 12, 0);
+        assert_eq!(m.nnz(), 12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Recursive-matrix (R-MAT) power-law graph generator.
+//!
+//! R-MAT recursively subdivides the adjacency matrix into quadrants with
+//! probabilities `(a, b, c, d)`; skewed probabilities produce the
+//! heavy-tailed degree distributions of web and co-authorship graphs
+//! (uk-2002, coPapersDBLP in the paper's test-bed).
+
+use rand::Rng;
+
+use crate::{Coo, Csr};
+
+/// Quadrant probabilities for the R-MAT recursion.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatProbs {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatProbs {
+    /// The Graph500-style default (a=0.57, b=0.19, c=0.19, d=0.05).
+    pub const GRAPH500: RmatProbs = RmatProbs {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    /// A milder skew producing social-network-like tails.
+    pub const SOCIAL: RmatProbs = RmatProbs {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+    };
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT pattern with `1 << scale` vertices and about
+/// `nedges` distinct directed edges (self-loops removed, duplicates
+/// collapsed). If `symmetrize` is set the result is `A ∪ Aᵀ`, matching the
+/// undirected co-authorship instances.
+pub fn rmat(scale: u32, nedges: usize, probs: RmatProbs, symmetrize: bool, seed: u64) -> Csr {
+    assert!(scale < 31, "rmat scale too large for u32 indices");
+    assert!(probs.d() >= -1e-9, "rmat probabilities exceed 1");
+    let n = 1usize << scale;
+    let mut rng = super::seeded_rng(seed);
+    let mut coo = Coo::with_capacity(n, n, nedges);
+    // Slight per-level perturbation avoids the artificial striping of pure
+    // R-MAT (standard Graph500 "noise" trick).
+    for _ in 0..nedges {
+        let (mut lo_i, mut lo_j) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let noise = 1.0 + rng.gen_range(-0.05..0.05);
+            let a = probs.a * noise;
+            let b = probs.b * noise;
+            let c = probs.c * noise;
+            let r: f64 = rng.gen_range(0.0..(a + b + c + probs.d().max(0.0)));
+            if r < a {
+                // top-left: nothing
+            } else if r < a + b {
+                lo_j += half;
+            } else if r < a + b + c {
+                lo_i += half;
+            } else {
+                lo_i += half;
+                lo_j += half;
+            }
+            half >>= 1;
+        }
+        if lo_i != lo_j {
+            coo.push(lo_i, lo_j);
+            if symmetrize {
+                coo.push(lo_j, lo_i);
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Chung–Lu power-law generator with an arbitrary vertex count.
+///
+/// Vertex weights follow `rank^(−1/(exponent−1))` (the expected-degree
+/// formulation of a power law with the given `exponent`), capped so no
+/// expected degree exceeds `max_deg`. About `target_nnz` distinct entries
+/// are produced; self-loops are rejected and duplicates collapsed. With
+/// `symmetric` the pattern is mirrored (coPapersDBLP analogue); without, a
+/// directed web-graph-like square pattern results (uk-2002 analogue).
+pub fn chung_lu(
+    n: usize,
+    target_nnz: usize,
+    exponent: f64,
+    max_deg: usize,
+    symmetric: bool,
+    seed: u64,
+) -> Csr {
+    assert!(n > 1);
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    let mut rng = super::seeded_rng(seed);
+
+    let beta = 1.0 / (exponent - 1.0);
+    let raw: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-beta)).collect();
+    let edges = if symmetric {
+        target_nnz / 2
+    } else {
+        target_nnz
+    };
+    // Target expected-degree sequence: d_i = min(c · raw_i, max_deg), with
+    // c fixed-point-iterated so Σ d_i ≈ 2·edges. A uniform rescale alone
+    // would leave the top-vertex *share* unchanged, so the cap must clamp
+    // individual weights, not the total.
+    let want_sum = 2.0 * edges as f64;
+    let mut c = want_sum / raw.iter().sum::<f64>();
+    for _ in 0..32 {
+        let sum: f64 = raw.iter().map(|&w| (c * w).min(max_deg as f64)).sum();
+        if (sum - want_sum).abs() / want_sum < 1e-6 {
+            break;
+        }
+        c *= want_sum / sum;
+    }
+    let weights: Vec<f64> = raw
+        .iter()
+        .map(|&w| (c * w).min(max_deg as f64).max(1e-3))
+        .collect();
+
+    // Cumulative distribution for endpoint sampling.
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cum.push(acc);
+    }
+    let total = acc;
+
+    // Shuffle vertex labels so that high-degree vertices are not all at
+    // low ids (matters for chunked scheduling fairness).
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        label.swap(i, j);
+    }
+
+    let sample = |rng: &mut rand_chacha::ChaCha8Rng| -> usize {
+        let x: f64 = rng.gen_range(0.0..total);
+        match cum.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(n - 1)
+    };
+
+    let mut coo = Coo::with_capacity(n, n, target_nnz + target_nnz / 8);
+    for _ in 0..edges {
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        let (lu, lv) = (label[u] as usize, label[v] as usize);
+        coo.push(lu, lv);
+        if symmetric {
+            coo.push(lv, lu);
+        }
+    }
+    coo.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DegreeStats;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(10, 5000, RmatProbs::GRAPH500, false, 7);
+        let b = rmat(10, 5000, RmatProbs::GRAPH500, false, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, rmat(10, 5000, RmatProbs::GRAPH500, false, 8));
+    }
+
+    #[test]
+    fn symmetrized_output_is_symmetric() {
+        let m = rmat(9, 4000, RmatProbs::SOCIAL, true, 3);
+        assert!(m.is_structurally_symmetric());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let m = rmat(8, 3000, RmatProbs::GRAPH500, false, 11);
+        for i in 0..m.nrows() {
+            assert!(!m.contains(i, i as u32));
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Power-law graphs have max degree far above the mean.
+        let m = rmat(12, 40_000, RmatProbs::GRAPH500, true, 5);
+        let s = DegreeStats::rows(&m);
+        assert!(
+            s.max as f64 > 8.0 * s.mean,
+            "expected heavy tail: max={} mean={}",
+            s.max,
+            s.mean
+        );
+    }
+
+    #[test]
+    fn edge_count_within_budget() {
+        let m = rmat(10, 10_000, RmatProbs::GRAPH500, false, 2);
+        assert!(m.nnz() <= 10_000);
+        assert!(m.nnz() > 5_000, "too many duplicates: {}", m.nnz());
+    }
+
+    #[test]
+    fn chung_lu_symmetric_and_deterministic() {
+        let a = chung_lu(1000, 20_000, 2.2, 400, true, 6);
+        let b = chung_lu(1000, 20_000, 2.2, 400, true, 6);
+        assert_eq!(a, b);
+        assert!(a.is_structurally_symmetric());
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn chung_lu_heavy_tail_with_cap() {
+        let m = chung_lu(5000, 100_000, 2.0, 800, true, 12);
+        let s = DegreeStats::rows(&m);
+        assert!(s.max as f64 > 5.0 * s.mean, "max {} mean {}", s.max, s.mean);
+        // Soft cap: sampled degree may exceed expected degree a bit.
+        assert!(s.max <= 1000, "cap violated badly: {}", s.max);
+    }
+
+    #[test]
+    fn chung_lu_directed_square() {
+        let m = chung_lu(800, 10_000, 2.1, 300, false, 3);
+        assert_eq!(m.nrows(), m.ncols());
+        for i in 0..m.nrows() {
+            assert!(!m.contains(i, i as u32));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Matrix Market (`.mtx`) pattern I/O.
+//!
+//! Supports the `matrix coordinate` format with `general`, `symmetric`, and
+//! `skew-symmetric` storage. Values (`real`/`integer`/`complex`/`pattern`)
+//! are accepted and discarded — coloring only needs the pattern. This lets
+//! the harness run on real SuiteSparse downloads when they are present,
+//! while the synthetic registry covers the offline case.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Coo, Csr};
+
+/// Errors produced by the Matrix Market reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not conform to the expected format.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market pattern from a reader.
+pub fn read_pattern<R: Read>(reader: R) -> Result<Csr, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_ascii_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header line: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err(format!(
+            "unsupported format `{}` (only coordinate)",
+            fields[2]
+        )));
+    }
+    let has_value = match fields[3] {
+        "pattern" => false,
+        "real" | "integer" | "complex" => true,
+        other => return Err(parse_err(format!("unsupported field type `{other}`"))),
+    };
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" | "skew-symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry `{other}`"))),
+    };
+
+    // Skip comments, find size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let mut it = size_line.split_whitespace();
+    let nrows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad row count"))?;
+    let ncols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad col count"))?;
+    let nnz: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad nnz count"))?;
+
+    let mut coo = Coo::with_capacity(nrows, ncols, if symmetric { nnz * 2 } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad row index in `{trimmed}`")))?;
+        let j: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad col index in `{trimmed}`")))?;
+        if has_value && it.next().is_none() {
+            return Err(parse_err(format!("missing value in `{trimmed}`")));
+        }
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!(
+                "entry ({i}, {j}) out of 1-based range {nrows}x{ncols}"
+            )));
+        }
+        // Matrix Market is 1-based.
+        if symmetric {
+            coo.push_symmetric(i - 1, j - 1);
+        } else {
+            coo.push(i - 1, j - 1);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.into_csr())
+}
+
+/// Reads a Matrix Market pattern from a file path.
+pub fn read_pattern_file(path: impl AsRef<Path>) -> Result<Csr, MmError> {
+    read_pattern(std::fs::File::open(path)?)
+}
+
+/// Writes a pattern in `matrix coordinate pattern general` format.
+pub fn write_pattern<W: Write>(mut writer: W, m: &Csr) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (i, j) in m.iter() {
+        writeln!(writer, "{} {}", i + 1, j + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes a pattern to a file path.
+pub fn write_pattern_file(path: impl AsRef<Path>, m: &Csr) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_pattern(std::io::BufWriter::new(file), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_pattern() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   % a comment\n\
+                   3 4 4\n\
+                   1 1\n\
+                   1 3\n\
+                   2 2\n\
+                   3 4\n";
+        let m = read_pattern(src.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.row(0), &[0, 2]);
+        assert_eq!(m.row(1), &[1]);
+        assert_eq!(m.row(2), &[3]);
+    }
+
+    #[test]
+    fn parse_real_values_discarded() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 2\n\
+                   1 2 3.5\n\
+                   2 1 -1e9\n";
+        let m = read_pattern(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert!(m.contains(0, 1));
+        assert!(m.contains(1, 0));
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   3 3 2\n\
+                   2 1\n\
+                   3 3\n";
+        let m = read_pattern(src.as_bytes()).unwrap();
+        assert!(m.contains(0, 1));
+        assert!(m.contains(1, 0));
+        assert!(m.contains(2, 2));
+        assert_eq!(m.nnz(), 3);
+        assert!(m.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = Csr::from_rows(3, &[vec![0, 2], vec![], vec![1]]);
+        let mut buf = Vec::new();
+        write_pattern(&mut buf, &m).unwrap();
+        let back = read_pattern(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_pattern("%%NotMM matrix\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_pattern("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_pattern(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        assert!(read_pattern(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        let src = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n";
+        assert!(read_pattern(src.as_bytes()).is_err());
+    }
+}

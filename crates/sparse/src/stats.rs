@@ -1,0 +1,129 @@
+//! Degree-distribution statistics.
+//!
+//! Table II of the paper characterizes each instance by its maximum column
+//! degree and the standard deviation of the column-degree distribution —
+//! the quantities that drive conflict rates and the color lower bound. This
+//! module computes them for rows or columns of a [`Csr`].
+
+use crate::Csr;
+
+/// Summary statistics over a degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of entities (rows or columns).
+    pub count: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Population standard deviation of the degrees.
+    pub std_dev: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics from an explicit degree sequence.
+    pub fn from_degrees(degrees: impl Iterator<Item = usize> + Clone) -> Self {
+        let mut count = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0u128;
+        for d in degrees.clone() {
+            count += 1;
+            min = min.min(d);
+            max = max.max(d);
+            sum += d as u128;
+        }
+        if count == 0 {
+            return Self {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let mean = sum as f64 / count as f64;
+        let var = degrees
+            .map(|d| {
+                let diff = d as f64 - mean;
+                diff * diff
+            })
+            .sum::<f64>()
+            / count as f64;
+        Self {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Row-degree statistics of a pattern.
+    pub fn rows(m: &Csr) -> Self {
+        Self::from_degrees((0..m.nrows()).map(|i| m.row_len(i)))
+    }
+
+    /// Column-degree statistics of a pattern (computed via a counting pass;
+    /// no transpose materialized).
+    pub fn cols(m: &Csr) -> Self {
+        let mut degrees = vec![0usize; m.ncols()];
+        for &j in m.col_idx() {
+            degrees[j as usize] += 1;
+        }
+        Self::from_degrees(degrees.iter().copied())
+    }
+}
+
+/// Computes the histogram of a degree sequence up to `max` (inclusive);
+/// degrees above `max` land in the last bucket.
+pub fn degree_histogram(degrees: impl Iterator<Item = usize>, max: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max + 1];
+    for d in degrees {
+        hist[d.min(max)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sequence() {
+        let s = DegreeStats::from_degrees([2usize, 4, 4, 4, 5, 5, 7, 9].into_iter());
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = DegreeStats::from_degrees(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn row_and_col_stats() {
+        let m = Csr::from_rows(3, &[vec![0, 1, 2], vec![1], vec![]]);
+        let r = DegreeStats::rows(&m);
+        assert_eq!(r.max, 3);
+        assert_eq!(r.min, 0);
+        let c = DegreeStats::cols(&m);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.max, 2); // column 1 appears twice
+        assert_eq!(c.min, 1);
+    }
+
+    #[test]
+    fn histogram_clamps() {
+        let h = degree_histogram([0usize, 1, 1, 5, 99].into_iter(), 4);
+        assert_eq!(h, vec![1, 2, 0, 0, 2]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Distributed-memory speculative coloring, simulated — the framework of
+//! the paper's distributed predecessors (Bozdağ et al.), run as a BSP
+//! simulation so rounds and message volume can be studied on one machine.
+//!
+//! ```text
+//! cargo run --release --example distributed_bgpc
+//! ```
+
+use bgpc_suite::graph::BipartiteGraph;
+use dist::{DistRunner, Partition};
+
+fn main() {
+    let inst = bgpc_suite::sparse::Dataset::Nlpkkt120.build(0.004, 5);
+    let g = BipartiteGraph::from_matrix(&inst.matrix);
+    println!(
+        "instance: {} nets, {} vertices, {} pins",
+        g.n_nets(),
+        g.n_vertices(),
+        g.n_pins()
+    );
+
+    let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    let (_, seq_colors) = bgpc_suite::bgpc::seq::color_bgpc_seq(&g, &order);
+    println!("sequential baseline: {seq_colors} colors\n");
+
+    println!(
+        "{:>7}  {:>9}  {:>7}  {:>10}  {:>9}  {:>8}",
+        "ranks", "partition", "rounds", "messages", "boundary", "#colors"
+    );
+    for ranks in [1usize, 2, 4, 8, 16] {
+        for (name, partition) in [
+            ("block", Partition::block(g.n_vertices(), ranks)),
+            ("cyclic", Partition::cyclic(g.n_vertices(), ranks)),
+        ] {
+            let runner = DistRunner::new(&g, partition);
+            let boundary = runner.boundary_fraction();
+            let r = runner.run();
+            bgpc_suite::bgpc::verify::verify_bgpc(&g, &r.colors).expect("valid");
+            println!(
+                "{ranks:>7}  {name:>9}  {:>7}  {:>10}  {boundary:>9.3}  {:>8}",
+                r.rounds(),
+                r.total_messages(),
+                r.num_colors
+            );
+        }
+    }
+    println!("\nblock partitions of mesh matrices keep the boundary — and the");
+    println!("conflict rounds — small; cyclic partitions show the worst case.");
+}

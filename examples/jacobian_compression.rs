@@ -1,0 +1,59 @@
+//! Sparse Jacobian compression — the numerical-optimization use case that
+//! motivates BGPC (paper §I: "efficient computation of Hessians and
+//! Jacobians").
+//!
+//! A valid partial coloring of the columns groups structurally orthogonal
+//! columns together; one matrix–vector product per color recovers every
+//! nonzero exactly. For a banded Jacobian with bandwidth b, ~2b+1 products
+//! replace n of them.
+//!
+//! ```text
+//! cargo run --release --example jacobian_compression
+//! ```
+
+use bgpc_suite::bgpc::{self, Schedule};
+use bgpc_suite::compress::{SeedMatrix, SparseF64};
+use bgpc_suite::graph::{BipartiteGraph, Ordering};
+use bgpc_suite::par::Pool;
+
+fn main() {
+    // A banded "Jacobian" of a 1-D PDE discretization: 100 000 unknowns,
+    // half-bandwidth 4.
+    let n = 100_000;
+    let pattern = bgpc_suite::sparse::gen::banded(n, 4, 1.0, 7);
+    let jac = SparseF64::with_synthetic_values(pattern.clone());
+    println!(
+        "Jacobian: {}x{}, {} nonzeros",
+        pattern.nrows(),
+        pattern.ncols(),
+        pattern.nnz()
+    );
+
+    // Color the columns (rows are the nets).
+    let g = BipartiteGraph::from_matrix(&pattern);
+    let order = Ordering::SmallestLast.vertex_order_bgpc(&g);
+    let pool = Pool::new(4);
+    let result = bgpc::color_bgpc(&g, &order, &Schedule::n1_n2(), &pool);
+    bgpc::verify::verify_bgpc(&g, &result.colors).expect("valid coloring");
+    println!(
+        "colored {} columns with {} colors in {:.2} ms (lower bound {})",
+        g.n_vertices(),
+        result.num_colors,
+        result.total_time.as_secs_f64() * 1e3,
+        g.max_net_size()
+    );
+
+    // Compress: k products instead of n.
+    let seed = SeedMatrix::from_coloring(&result.colors);
+    let compressed = jac.compress(&seed);
+    println!(
+        "compressed to {} columns — {:.0}x fewer evaluations",
+        compressed.num_colors(),
+        compressed.ratio(n)
+    );
+
+    // Recover and check exactness.
+    let recovered = SparseF64::recover(&pattern, &seed, &compressed);
+    assert_eq!(recovered, jac, "direct recovery must be exact");
+    println!("recovered all {} nonzeros exactly", pattern.nnz());
+}

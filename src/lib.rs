@@ -1,0 +1,10 @@
+//! Umbrella crate for the BGPC reproduction workspace.
+//!
+//! Re-exports the member crates so the integration tests and the runnable
+//! examples under `examples/` have a single import surface.
+
+pub use bgpc;
+pub use compress;
+pub use graph;
+pub use par;
+pub use sparse;

@@ -1,0 +1,188 @@
+//! Property-based tests over the core invariants:
+//!
+//! * every schedule yields a complete, valid coloring on arbitrary
+//!   bipartite patterns and symmetric graphs;
+//! * single-threaded `V-V` reproduces the sequential greedy exactly;
+//! * Lemma 1 (net coloring stays within the per-net lower bound on the
+//!   first pass);
+//! * compression round-trips through any valid coloring;
+//! * orderings are permutations.
+
+use proptest::prelude::*;
+
+use bgpc_suite::bgpc::{self, Balance, Schedule};
+use bgpc_suite::compress::{SeedMatrix, SparseF64};
+use bgpc_suite::graph::{BipartiteGraph, Graph, Ordering};
+use bgpc_suite::par::Pool;
+use bgpc_suite::sparse::Csr;
+
+/// Arbitrary bipartite pattern: up to 24 nets over up to 32 vertices.
+fn arb_bipartite() -> impl Strategy<Value = Csr> {
+    (1usize..24, 1usize..32).prop_flat_map(|(nrows, ncols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..ncols as u32, 0..12usize),
+            nrows,
+        )
+        .prop_map(move |rows| Csr::from_rows(ncols, &rows))
+    })
+}
+
+/// Arbitrary simple undirected graph as a symmetric pattern.
+fn arb_symmetric() -> impl Strategy<Value = Csr> {
+    (2usize..28).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..60usize).prop_map(move |edges| {
+            let mut coo = bgpc_suite::sparse::Coo::new(n, n);
+            for (u, v) in edges {
+                if u != v {
+                    coo.push_symmetric(u, v);
+                }
+            }
+            coo.into_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bgpc_all_schedules_valid(matrix in arb_bipartite(), threads in 1usize..4) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let pool = Pool::new(threads);
+        for schedule in Schedule::all() {
+            let r = bgpc::color_bgpc(&g, &order, &schedule, &pool);
+            prop_assert!(bgpc::verify::verify_bgpc(&g, &r.colors).is_ok(),
+                "{} invalid", schedule.name());
+            prop_assert!(r.num_colors >= g.max_net_size());
+        }
+    }
+
+    #[test]
+    fn bgpc_balanced_schedules_valid(matrix in arb_bipartite(), threads in 1usize..4) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let pool = Pool::new(threads);
+        for balance in [Balance::B1, Balance::B2] {
+            for base in [Schedule::v_n(2), Schedule::n1_n2()] {
+                let schedule = base.with_balance(balance);
+                let r = bgpc::color_bgpc(&g, &order, &schedule, &pool);
+                prop_assert!(bgpc::verify::verify_bgpc(&g, &r.colors).is_ok(),
+                    "{} invalid", schedule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_vv_equals_sequential(matrix in arb_bipartite()) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let pool = Pool::new(1);
+        let r = bgpc::color_bgpc(&g, &order, &Schedule::v_v(), &pool);
+        let (seq, k) = bgpc::seq::color_bgpc_seq(&g, &order);
+        prop_assert_eq!(r.rounds(), if g.n_vertices() == 0 { 0 } else { 1 });
+        prop_assert_eq!(r.num_colors, k);
+        prop_assert_eq!(r.colors, seq);
+    }
+
+    #[test]
+    fn lemma1_first_net_pass_within_bound(matrix in arb_bipartite()) {
+        // Sequential single net pass from an empty coloring: every color
+        // must stay below the max net size (the trivial lower bound).
+        use bgpc_suite::bgpc::net::{color_workqueue_net, NetColoringVariant};
+        use bgpc_suite::bgpc::{ctx::ThreadCtx, Colors};
+        use bgpc_suite::par::ThreadScratch;
+        let g = BipartiteGraph::from_matrix(&matrix);
+        prop_assume!(g.max_net_size() > 0);
+        let pool = Pool::new(1);
+        let colors = Colors::new(g.n_vertices());
+        let sc = ThreadScratch::new(1, |_| ThreadCtx::new(16));
+        color_workqueue_net(
+            &g, &colors, &pool,
+            NetColoringVariant::TwoPassReverse, Balance::Unbalanced, &sc,
+        );
+        let bound = g.max_net_size() as i32;
+        for u in 0..g.n_vertices() {
+            let c = colors.get(u);
+            if c >= 0 {
+                prop_assert!(c < bound, "vertex {} color {} >= bound {}", u, c, bound);
+            } else {
+                // only vertices in no net stay uncolored
+                prop_assert!(g.nets(u).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn d2gc_all_schedules_valid(matrix in arb_symmetric(), threads in 1usize..4) {
+        let g = Graph::from_symmetric_matrix(&matrix);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(threads);
+        for schedule in Schedule::d2gc_set() {
+            let r = bgpc::d2gc::color_d2gc(&g, &order, &schedule, &pool);
+            prop_assert!(bgpc::verify::verify_d2gc(&g, &r.colors).is_ok(),
+                "{} invalid", schedule.name());
+            prop_assert!(r.num_colors > g.max_degree() || g.n_vertices() == 0);
+        }
+    }
+
+    #[test]
+    fn d2gc_single_thread_vv_equals_sequential(matrix in arb_symmetric()) {
+        let g = Graph::from_symmetric_matrix(&matrix);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let pool = Pool::new(1);
+        let r = bgpc::d2gc::color_d2gc(&g, &order, &Schedule::v_v(), &pool);
+        let (seq, _) = bgpc::seq::color_d2gc_seq(&g, &order);
+        prop_assert_eq!(r.colors, seq);
+    }
+
+    #[test]
+    fn compression_roundtrip_through_any_schedule(
+        matrix in arb_bipartite(),
+        threads in 1usize..4,
+        which in 0usize..8,
+    ) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let pool = Pool::new(threads);
+        let schedule = &Schedule::all()[which];
+        let r = bgpc::color_bgpc(&g, &order, schedule, &pool);
+        let seed = SeedMatrix::from_coloring(&r.colors);
+        let jac = SparseF64::with_synthetic_values(matrix.clone());
+        let compressed = jac.compress(&seed);
+        let recovered = SparseF64::recover(&matrix, &seed, &compressed);
+        prop_assert_eq!(recovered, jac);
+    }
+
+    #[test]
+    fn orderings_are_permutations(matrix in arb_bipartite(), seed in 0u64..100) {
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let n = g.n_vertices();
+        for ordering in [
+            Ordering::Natural,
+            Ordering::Random(seed),
+            Ordering::LargestFirst,
+            Ordering::SmallestLast,
+        ] {
+            let order = ordering.vertex_order_bgpc(&g);
+            prop_assert_eq!(order.len(), n);
+            let mut seen = vec![false; n];
+            for &u in &order {
+                prop_assert!(!seen[u as usize], "{} duplicated", u);
+                seen[u as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_coloring_agree(matrix in arb_bipartite()) {
+        // Structural sanity that the coloring relies on: nets(u) of the
+        // bipartite view equals the transpose's rows.
+        let g = BipartiteGraph::from_matrix(&matrix);
+        let t = matrix.transpose();
+        for u in 0..g.n_vertices() {
+            prop_assert_eq!(g.nets(u), t.row(u));
+        }
+        prop_assert_eq!(t.transpose(), matrix);
+    }
+}
