@@ -1,9 +1,9 @@
-//! Criterion benches over the paper's algorithm grid: one group per
-//! experiment family. These are micro-scale companions to the `repro`
-//! binary (which runs the full paper-shaped sweeps).
+//! Benches over the paper's algorithm grid: one group per experiment
+//! family. These are micro-scale companions to the `repro` binary (which
+//! runs the full paper-shaped sweeps). Plain timing loops on the in-repo
+//! harness (`bench::timing`) — no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::timing::Group;
 use bgpc::Schedule;
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::Pool;
@@ -11,84 +11,71 @@ use sparse::Dataset;
 
 const SCALE: f64 = 0.004;
 const SEED: u64 = 42;
+const SAMPLES: usize = 10;
 
 /// Table III/Figure 2 companion: every schedule on the coPapersDBLP
 /// analogue at a fixed team size.
-fn bgpc_schedules(c: &mut Criterion) {
+fn bgpc_schedules() {
     let inst = Dataset::CoPapersDblp.build(SCALE, SEED);
     let g = BipartiteGraph::from_matrix(&inst.matrix);
     let order = Ordering::Natural.vertex_order_bgpc(&g);
     let pool = Pool::new(4);
 
-    let mut group = c.benchmark_group("bgpc_schedules_coPapersDBLP");
-    group.sample_size(10);
+    let group = Group::new("bgpc_schedules_coPapersDBLP", SAMPLES);
     for schedule in Schedule::all() {
-        group.bench_function(BenchmarkId::from_parameter(schedule.name()), |b| {
-            b.iter(|| {
-                let r = bgpc::color_bgpc(&g, &order, &schedule, &pool);
-                assert!(r.num_colors >= g.max_net_size());
-                r.num_colors
-            })
+        group.bench(&schedule.name(), || {
+            let r = bgpc::color_bgpc(&g, &order, &schedule, &pool);
+            assert!(r.num_colors >= g.max_net_size());
+            r.num_colors
         });
     }
-    group.finish();
 }
 
 /// Thread sweep of the headline schedule (Figure 2's x-axis).
-fn bgpc_thread_sweep(c: &mut Criterion) {
+fn bgpc_thread_sweep() {
     let inst = Dataset::Bone010.build(SCALE, SEED);
     let g = BipartiteGraph::from_matrix(&inst.matrix);
     let order = Ordering::Natural.vertex_order_bgpc(&g);
     let schedule = Schedule::n1_n2();
 
-    let mut group = c.benchmark_group("bgpc_threads_bone010_N1-N2");
-    group.sample_size(10);
+    let group = Group::new("bgpc_threads_bone010_N1-N2", SAMPLES);
     for threads in [1usize, 2, 4, 8] {
         let pool = Pool::new(threads);
-        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
-            b.iter(|| bgpc::color_bgpc(&g, &order, &schedule, &pool).num_colors)
+        group.bench(&threads.to_string(), || {
+            bgpc::color_bgpc(&g, &order, &schedule, &pool).num_colors
         });
     }
-    group.finish();
 }
 
 /// Sequential baseline (Table II's timing columns).
-fn bgpc_sequential(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bgpc_sequential");
-    group.sample_size(10);
+fn bgpc_sequential() {
+    let group = Group::new("bgpc_sequential", SAMPLES);
     for dataset in [Dataset::AfShell10, Dataset::CoPapersDblp] {
         let inst = dataset.build(SCALE, SEED);
         let g = BipartiteGraph::from_matrix(&inst.matrix);
         let order = Ordering::Natural.vertex_order_bgpc(&g);
-        group.bench_function(BenchmarkId::from_parameter(dataset.name()), |b| {
-            b.iter(|| bgpc::seq::color_bgpc_seq(&g, &order).1)
-        });
+        group.bench(dataset.name(), || bgpc::seq::color_bgpc_seq(&g, &order).1);
     }
-    group.finish();
 }
 
 /// Table V companion: D2GC schedules on the nlpkkt analogue.
-fn d2gc_schedules(c: &mut Criterion) {
+fn d2gc_schedules() {
     let inst = Dataset::Nlpkkt120.build(SCALE, SEED);
     let g = Graph::from_symmetric_matrix(&inst.matrix);
     let order = Ordering::Natural.vertex_order_d2(&g);
     let pool = Pool::new(4);
 
-    let mut group = c.benchmark_group("d2gc_schedules_nlpkkt120");
-    group.sample_size(10);
+    let group = Group::new("d2gc_schedules_nlpkkt120", SAMPLES);
     for schedule in Schedule::d2gc_set() {
-        group.bench_function(BenchmarkId::from_parameter(schedule.name()), |b| {
-            b.iter(|| bgpc::d2gc::color_d2gc(&g, &order, &schedule, &pool).num_colors)
+        group.bench(&schedule.name(), || {
+            bgpc::d2gc::color_d2gc(&g, &order, &schedule, &pool).num_colors
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bgpc_schedules,
-    bgpc_thread_sweep,
-    bgpc_sequential,
-    d2gc_schedules
-);
-criterion_main!(benches);
+fn main() {
+    bgpc_schedules();
+    bgpc_thread_sweep();
+    bgpc_sequential();
+    d2gc_schedules();
+}

@@ -1,72 +1,62 @@
 //! Substrate microbenches: the thread pool, the chunk cursor, and the
-//! sparse kernels every coloring pass is built from.
+//! sparse kernels every coloring pass is built from. Plain timing loops
+//! on the in-repo harness (`bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::timing::{bench_fn, Group};
 use par::{ChunkCursor, Pool};
 use sparse::Dataset;
 
 /// Fork/join overhead of one parallel region (bounds how short an
 /// iteration can be before scheduling dominates).
-fn pool_region_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pool_region_overhead");
-    group.sample_size(20);
+fn pool_region_overhead() {
+    let group = Group::new("pool_region_overhead", 20);
     for threads in [1usize, 2, 4, 8] {
         let pool = Pool::new(threads);
-        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
-            b.iter(|| {
-                pool.run(|tid| {
-                    std::hint::black_box(tid);
-                })
+        group.bench(&threads.to_string(), || {
+            pool.run(|tid| {
+                std::hint::black_box(tid);
             })
         });
     }
-    group.finish();
 }
 
 /// Throughput of dynamic chunk claims (single-threaded upper bound).
-fn cursor_claims(c: &mut Criterion) {
-    c.bench_function("cursor_claim_1M_by_64", |b| {
-        b.iter(|| {
-            let cursor = ChunkCursor::new(1_000_000, 64);
-            let mut total = 0usize;
-            while let Some(r) = cursor.claim() {
-                total += r.len();
-            }
-            total
-        })
+fn cursor_claims() {
+    bench_fn("cursor_claim_1M_by_64", 10, || {
+        let cursor = ChunkCursor::new(1_000_000, 64);
+        let mut total = 0usize;
+        while let Some(r) = cursor.claim() {
+            total += r.len();
+        }
+        total
     });
 }
 
 /// CSR transpose — the cost of building the bipartite view.
-fn transpose(c: &mut Criterion) {
+fn transpose() {
     let inst = Dataset::CoPapersDblp.build(0.004, 42);
-    c.bench_function("csr_transpose_coPapersDBLP", |b| {
-        b.iter(|| inst.matrix.transpose().nnz())
+    bench_fn("csr_transpose_coPapersDBLP", 10, || {
+        inst.matrix.transpose().nnz()
     });
 }
 
 /// Generator throughput (instances are rebuilt by every harness run).
-fn generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
-    group.sample_size(10);
-    group.bench_function("grid3d_18pt_20^3", |b| {
-        b.iter(|| sparse::gen::grid3d_18pt(20, 20, 20).nnz())
+fn generators() {
+    let group = Group::new("generators", 10);
+    group.bench("grid3d_18pt_20^3", || {
+        sparse::gen::grid3d_18pt(20, 20, 20).nnz()
     });
-    group.bench_function("chung_lu_5k", |b| {
-        b.iter(|| sparse::gen::chung_lu(5_000, 50_000, 2.3, 500, true, 1).nnz())
+    group.bench("chung_lu_5k", || {
+        sparse::gen::chung_lu(5_000, 50_000, 2.3, 500, true, 1).nnz()
     });
-    group.bench_function("bipartite_skewed_1k_x_5k", |b| {
-        b.iter(|| sparse::gen::bipartite_skewed(1_000, 5_000, 40_000, 0.95, 2_000, 1).nnz())
+    group.bench("bipartite_skewed_1k_x_5k", || {
+        sparse::gen::bipartite_skewed(1_000, 5_000, 40_000, 0.95, 2_000, 1).nnz()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    pool_region_overhead,
-    cursor_claims,
-    transpose,
-    generators
-);
-criterion_main!(benches);
+fn main() {
+    pool_region_overhead();
+    cursor_claims();
+    transpose();
+    generators();
+}

@@ -6,7 +6,6 @@ use bgpc::net::NetColoringVariant;
 use bgpc::Schedule;
 use graph::{BipartiteGraph, Ordering};
 use par::Pool;
-use serde::Serialize;
 use sparse::Dataset;
 
 use crate::report::{f2, TextTable};
@@ -14,7 +13,7 @@ use crate::sweep::{bgpc_graph, bgpc_order, geomean, run_bgpc_once};
 use crate::ReproConfig;
 
 /// One ablation measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationRow {
     /// Which knob / value, e.g. `chunk=64`.
     pub variant: String,
@@ -132,7 +131,7 @@ pub fn net_variant_sweep(cfg: &ReproConfig) -> (String, Vec<AblationRow>) {
 }
 
 /// Effect of the iterative-recoloring post-pass on color counts.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RecolorRow {
     /// Dataset name.
     pub dataset: String,
@@ -188,7 +187,7 @@ pub fn recolor_sweep(cfg: &ReproConfig) -> (String, Vec<RecolorRow>) {
 }
 
 /// Jones–Plassmann vs the speculative framework.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct JpRow {
     /// Dataset name.
     pub dataset: String,
@@ -250,6 +249,10 @@ pub fn jp_sweep(cfg: &ReproConfig) -> (String, Vec<JpRow>) {
     }
     (table.render(), rows)
 }
+
+crate::to_json_struct!(AblationRow { variant, time_ratio, colors_ratio });
+crate::to_json_struct!(RecolorRow { dataset, colors_before, colors_after_seq, colors_after_par, recolor_ms });
+crate::to_json_struct!(JpRow { dataset, jp_rounds, jp_colors, jp_ms, spec_rounds, spec_colors, spec_ms });
 
 #[cfg(test)]
 mod tests {

@@ -5,14 +5,13 @@
 
 use bgpc::Schedule;
 use graph::Ordering;
-use serde::Serialize;
 
 use crate::report::{f2, TextTable};
 use crate::sweep::{bgpc_graph, bgpc_order, run_bgpc_once};
 use crate::ReproConfig;
 
 /// One predicted-vs-measured row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AnalysisRow {
     /// Dataset name.
     pub dataset: String,
@@ -94,6 +93,8 @@ pub fn predicted_vs_measured(cfg: &ReproConfig) -> (String, Vec<AnalysisRow>) {
     }
     (table.render(), rows)
 }
+
+crate::to_json_struct!(AnalysisRow { dataset, vertex_work, net_work, predicted_ratio, measured_ratio, first_round_fraction, cv_vertex, cv_net, warp_eff_vertex, warp_eff_net });
 
 #[cfg(test)]
 mod tests {

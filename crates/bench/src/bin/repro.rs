@@ -180,7 +180,7 @@ fn results_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
-fn checked_write<T: serde::Serialize>(dir: &std::path::Path, name: &str, records: &T) {
+fn checked_write<T: bench::json::ToJson>(dir: &std::path::Path, name: &str, records: &T) {
     if let Err(e) = write_json(dir, name, records) {
         eprintln!("warning: could not write {name}.json: {e}");
     }

@@ -4,7 +4,6 @@
 
 use dist::{DistRunner, Partition};
 use graph::Ordering;
-use serde::Serialize;
 
 
 use crate::report::{f2, TextTable};
@@ -12,7 +11,7 @@ use crate::sweep::{bgpc_graph, bgpc_order};
 use crate::ReproConfig;
 
 /// One distributed run record.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DistRow {
     /// Dataset name.
     pub dataset: String,
@@ -80,6 +79,8 @@ pub fn dist_sweep(cfg: &ReproConfig) -> (String, Vec<DistRow>) {
     }
     (table.render(), rows)
 }
+
+crate::to_json_struct!(DistRow { dataset, partition, ranks, rounds, messages, boundary, colors, seq_colors });
 
 #[cfg(test)]
 mod tests {

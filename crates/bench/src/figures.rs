@@ -4,7 +4,6 @@
 use bgpc::verify::ColorClassStats;
 use bgpc::{Balance, Schedule};
 use graph::Ordering;
-use serde::Serialize;
 use sparse::Dataset;
 
 use crate::report::{f2, TextTable};
@@ -12,7 +11,7 @@ use crate::sweep::{bgpc_graph, bgpc_order, run_bgpc_once, RunRecord};
 use crate::ReproConfig;
 
 /// One per-iteration sample of Figure 1.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure1Point {
     /// Schedule name.
     pub schedule: String,
@@ -97,7 +96,7 @@ pub fn figure2(cfg: &ReproConfig) -> (String, Vec<RunRecord>) {
 }
 
 /// One distribution of Figure 3.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure3Series {
     /// Schedule + balance name (`V-N2-B1`, …).
     pub name: String,
@@ -153,6 +152,9 @@ pub fn figure3(cfg: &ReproConfig) -> (String, Vec<Figure3Series>) {
     }
     (table.render(), series)
 }
+
+crate::to_json_struct!(Figure1Point { schedule, round, color_ms, conflict_ms, queue_in });
+crate::to_json_struct!(Figure3Series { name, num_classes, std_dev, max, min, sorted_cardinalities });
 
 #[cfg(test)]
 mod tests {

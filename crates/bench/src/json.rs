@@ -1,0 +1,302 @@
+//! Minimal JSON serialization — the hermetic replacement for
+//! `serde`/`serde_json` (see README "Hermetic offline build").
+//!
+//! The harness only ever *writes* JSON records (EXPERIMENTS.md tooling
+//! reads them back with ordinary scripting), so one trait with a handful
+//! of impls plus the [`to_json_struct!`] field-listing macro covers every
+//! record type without derive machinery.
+
+use std::fmt::Write as _;
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Convenience: the compact JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Pretty-prints any [`ToJson`] value by re-indenting its compact form.
+///
+/// The compact writer never emits `{`, `}`, `[`, `]`, `,` or `:` inside
+/// anything but string literals, and string literals escape the quote, so
+/// a small state machine suffices — no parse tree needed.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    let compact = value.to_json();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // keep `{}` and `[]` on one line
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    out.push(chars.next().unwrap());
+                } else {
+                    depth += 1;
+                    indent(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `s` as a JSON string literal with the mandatory escapes.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        // JSON has no NaN/Infinity; `null` is the conventional stand-in.
+        if self.is_finite() {
+            let _ = write!(out, "{self}");
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn write_json(&self, out: &mut String) {
+        (*self as f64).write_json(out);
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(',');
+        self.2.write_json(out);
+        out.push(']');
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields, serialized
+/// as a JSON object in declaration order:
+///
+/// ```ignore
+/// to_json_struct!(RunRecord { dataset, schedule, threads, time_ms });
+/// ```
+#[macro_export]
+macro_rules! to_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    $crate::json::write_escaped(stringify!($field), out);
+                    out.push(':');
+                    $crate::json::ToJson::write_json(&self.$field, out);
+                )+
+                let _ = first;
+                out.push('}');
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(3usize.to_json(), "3");
+        assert_eq!((-7i32).to_json(), "-7");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!("hi".to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!("a\"b\\c\nd".to_json(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!("\u{1}".to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Vec::<u32>::new().to_json(), "[]");
+        assert_eq!(Some(4u32).to_json(), "4");
+        assert_eq!(None::<u32>.to_json(), "null");
+        assert_eq!((1usize, 0.5f64).to_json(), "[1,0.5]");
+        assert_eq!(vec![(1usize, 2usize)].to_json(), "[[1,2]]");
+    }
+
+    struct Rec {
+        name: String,
+        n: usize,
+        ratio: f64,
+        pairs: Vec<(usize, f64)>,
+    }
+    to_json_struct!(Rec { name, n, ratio, pairs });
+
+    #[test]
+    fn struct_macro_renders_object() {
+        let r = Rec {
+            name: "x\"y".into(),
+            n: 9,
+            ratio: 1.25,
+            pairs: vec![(1, 2.0)],
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"x\\\"y\",\"n\":9,\"ratio\":1.25,\"pairs\":[[1,2]]}"
+        );
+    }
+
+    #[test]
+    fn pretty_printer_indents_and_preserves_strings() {
+        let r = Rec {
+            name: "a{b,c:d}".into(),
+            n: 1,
+            ratio: 0.5,
+            pairs: vec![],
+        };
+        let pretty = to_string_pretty(&vec![r]);
+        assert!(pretty.contains("\"name\": \"a{b,c:d}\""), "{pretty}");
+        assert!(pretty.contains("\"pairs\": []"), "{pretty}");
+        assert!(pretty.starts_with("[\n"), "{pretty}");
+        assert!(pretty.ends_with(']'), "{pretty}");
+    }
+}

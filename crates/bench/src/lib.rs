@@ -17,9 +17,11 @@ pub mod analysis;
 pub mod config;
 pub mod distrib;
 pub mod figures;
+pub mod json;
 pub mod report;
 pub mod sweep;
 pub mod tables;
+pub mod timing;
 
 pub use config::ReproConfig;
 pub use sweep::{run_bgpc_once, run_d2gc_once, RunRecord};

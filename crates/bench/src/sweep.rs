@@ -6,11 +6,10 @@ use bgpc::verify::{verify_bgpc, verify_d2gc};
 use bgpc::{ColoringResult, Schedule};
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::Pool;
-use serde::Serialize;
 use sparse::{Dataset, Instance};
 
 /// One measured coloring run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Dataset name.
     pub dataset: String,
@@ -156,6 +155,8 @@ pub fn geomean(values: &[f64]) -> f64 {
     let log_sum: f64 = values.iter().map(|&v| v.max(1e-300).ln()).sum();
     (log_sum / values.len() as f64).exp()
 }
+
+crate::to_json_struct!(RunRecord { dataset, schedule, ordering, threads, problem, time_ms, colors, rounds, remaining_after_first });
 
 #[cfg(test)]
 mod tests {

@@ -4,7 +4,6 @@ use bgpc::net::NetColoringVariant;
 use bgpc::verify::ColorClassStats;
 use bgpc::{Balance, Schedule};
 use graph::Ordering;
-use serde::Serialize;
 use sparse::Dataset;
 
 use crate::report::{f2, TextTable};
@@ -46,7 +45,7 @@ pub fn table1(cfg: &ReproConfig) -> (String, Vec<RunRecord>) {
 
 /// One Table II row: generated-instance properties plus sequential BGPC
 /// results for both orderings, with the paper's values alongside.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     /// Dataset name.
     pub dataset: String,
@@ -125,7 +124,7 @@ pub fn table2(cfg: &ReproConfig) -> (String, Vec<Table2Row>) {
 }
 
 /// One speedup-table row (Tables III/IV/V format).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SpeedupRow {
     /// Schedule name.
     pub schedule: String,
@@ -284,7 +283,7 @@ fn speedup_table_impl(
 
 /// One Table VI row: balance-heuristic impact, normalized to the
 /// unbalanced run of the same schedule.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table6Row {
     /// Schedule + balance name, e.g. `V-N2-B1`.
     pub name: String,
@@ -366,6 +365,10 @@ pub fn table6(cfg: &ReproConfig) -> (String, Vec<Table6Row>) {
     }
     (table.render(), rows)
 }
+
+crate::to_json_struct!(Table2Row { dataset, rows, cols, nnz, max_net, std_dev, seq_ms_natural, colors_natural, seq_ms_sl, colors_sl, paper_colors_natural, paper_colors_sl });
+crate::to_json_struct!(SpeedupRow { schedule, colors_vs_ref, speedup_vs_seq, speedup_vs_ref_maxt });
+crate::to_json_struct!(Table6Row { name, time_ratio, classes_ratio, cardinality_ratio, std_dev_ratio });
 
 #[cfg(test)]
 mod tests {

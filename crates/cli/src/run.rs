@@ -1,4 +1,19 @@
 //! Command implementations.
+//!
+//! Every command returns a process exit code through one error type so
+//! failures are distinguishable by scripts:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 2    | usage error (bad flags) |
+//! | 3    | input error (missing/unparsable matrix) |
+//! | 4    | graph construction rejected the pattern |
+//! | 5    | internal error (invalid coloring produced) |
+//! | 6    | output I/O error |
+//!
+//! No command path unwraps: library errors surface as [`Failure`] values
+//! and the process exits with the matching code.
 
 use std::io::Write;
 
@@ -9,9 +24,46 @@ use sparse::{Csr, Dataset, DegreeStats};
 
 use crate::args::{ColorArgs, Input, Problem, COLOR_USAGE};
 
-fn load(input: &Input) -> Result<Csr, String> {
+/// Exit code for usage errors (bad flags / bad subcommand).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for unreadable or unparsable input.
+pub const EXIT_INPUT: i32 = 3;
+/// Exit code for patterns the graph layer rejects.
+pub const EXIT_GRAPH: i32 = 4;
+/// Exit code for internal invariant violations (invalid coloring).
+pub const EXIT_INTERNAL: i32 = 5;
+/// Exit code for output-side I/O failures.
+pub const EXIT_OUTPUT: i32 = 6;
+
+/// A command failure carrying its exit code and message.
+struct Failure {
+    code: i32,
+    msg: String,
+}
+
+impl Failure {
+    fn new(code: i32, msg: impl Into<String>) -> Self {
+        Self {
+            code,
+            msg: msg.into(),
+        }
+    }
+}
+
+fn finish(outcome: Result<(), Failure>) -> i32 {
+    match outcome {
+        Ok(()) => 0,
+        Err(f) => {
+            eprintln!("error: {}", f.msg);
+            f.code
+        }
+    }
+}
+
+fn load(input: &Input) -> Result<Csr, Failure> {
     match input {
-        Input::Mtx(path) => sparse::mm::read_pattern_file(path).map_err(|e| e.to_string()),
+        Input::Mtx(path) => sparse::mm::read_pattern_file(path)
+            .map_err(|e| Failure::new(EXIT_INPUT, e.to_string())),
         Input::Dataset { dataset, scale, seed } => Ok(dataset.build(*scale, *seed).matrix),
     }
 }
@@ -22,16 +74,14 @@ pub fn cmd_color(flags: &[String]) -> i32 {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{COLOR_USAGE}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
-    let matrix = match load(&args.input) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 1;
-        }
-    };
+    finish(color(args))
+}
+
+fn color(args: ColorArgs) -> Result<(), Failure> {
+    let matrix = load(&args.input)?;
     println!(
         "pattern: {} x {}, {} nnz; problem {:?}, schedule {}, {} threads, {} order",
         matrix.nrows(),
@@ -46,44 +96,47 @@ pub fn cmd_color(flags: &[String]) -> i32 {
 
     let (colors, num_colors, bound, total_ms, rounds) = match args.problem {
         Problem::Bgpc => {
-            let g = BipartiteGraph::from_matrix(&matrix);
+            let g = BipartiteGraph::try_from_matrix(&matrix)
+                .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
             let order = args.ordering.vertex_order_bgpc(&g);
-            let r = bgpc::color_bgpc(&g, &order, &args.schedule, &pool);
-            if let Err(e) = bgpc::verify::verify_bgpc(&g, &r.colors) {
-                eprintln!("INTERNAL ERROR — invalid coloring: {e}");
-                return 1;
-            }
+            let r = bgpc::try_color_bgpc(&g, &order, &args.schedule, &pool)
+                .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))?;
+            report_degradation(&r.degraded);
+            bgpc::verify::verify_bgpc(&g, &r.colors)
+                .map_err(|e| Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}")))?;
             let total_ms = r.total_time.as_secs_f64() * 1e3;
             let rounds = r.rounds();
             let mut colors = r.colors;
             let mut k = r.num_colors;
             if args.recolor {
                 k = bgpc::recolor::reduce_colors_bgpc(&g, &mut colors, &pool);
-                bgpc::verify::verify_bgpc(&g, &colors).expect("recolor must stay valid");
+                bgpc::verify::verify_bgpc(&g, &colors).map_err(|e| {
+                    Failure::new(EXIT_INTERNAL, format!("recolor broke validity: {e}"))
+                })?;
             }
             (colors, k, g.max_net_size(), total_ms, rounds)
         }
         Problem::D2gc | Problem::D1gc | Problem::Dk(_) => {
-            if !matrix.strip_diagonal().is_structurally_symmetric() {
-                eprintln!("error: distance-k problems need a symmetric pattern");
-                return 1;
-            }
-            let g = Graph::from_symmetric_matrix(&matrix);
+            let g = Graph::try_from_symmetric_matrix(&matrix)
+                .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
             let order = args.ordering.vertex_order_d2(&g);
             match args.problem {
                 Problem::D2gc => {
-                    let r = bgpc::d2gc::color_d2gc(&g, &order, &args.schedule, &pool);
-                    if let Err(e) = bgpc::verify::verify_d2gc(&g, &r.colors) {
-                        eprintln!("INTERNAL ERROR — invalid coloring: {e}");
-                        return 1;
-                    }
+                    let r = bgpc::d2gc::try_color_d2gc(&g, &order, &args.schedule, &pool)
+                        .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))?;
+                    report_degradation(&r.degraded);
+                    bgpc::verify::verify_d2gc(&g, &r.colors).map_err(|e| {
+                        Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}"))
+                    })?;
                     let total_ms = r.total_time.as_secs_f64() * 1e3;
                     let rounds = r.rounds();
                     let mut colors = r.colors;
                     let mut k = r.num_colors;
                     if args.recolor {
                         k = bgpc::recolor::reduce_colors_d2gc_seq(&g, &mut colors);
-                        bgpc::verify::verify_d2gc(&g, &colors).expect("recolor valid");
+                        bgpc::verify::verify_d2gc(&g, &colors).map_err(|e| {
+                            Failure::new(EXIT_INTERNAL, format!("recolor broke validity: {e}"))
+                        })?;
                     }
                     (colors, k, g.max_degree() + 1, total_ms, rounds)
                 }
@@ -96,7 +149,9 @@ pub fn cmd_color(flags: &[String]) -> i32 {
                         args.schedule.chunk,
                         args.schedule.balance,
                     );
-                    bgpc::d1gc::verify_d1gc(&g, &colors).expect("d1 valid");
+                    bgpc::d1gc::verify_d1gc(&g, &colors).map_err(|e| {
+                        Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}"))
+                    })?;
                     (colors, k, 1, t0.elapsed().as_secs_f64() * 1e3, 0)
                 }
                 Problem::Dk(k) => {
@@ -109,10 +164,12 @@ pub fn cmd_color(flags: &[String]) -> i32 {
                         args.schedule.chunk,
                         args.schedule.balance,
                     );
-                    bgpc::dkgc::verify_dkgc(&g, &colors, k).expect("dk valid");
+                    bgpc::dkgc::verify_dkgc(&g, &colors, k).map_err(|e| {
+                        Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}"))
+                    })?;
                     (colors, used, 1, t0.elapsed().as_secs_f64() * 1e3, 0)
                 }
-                Problem::Bgpc => unreachable!(),
+                Problem::Bgpc => unreachable!("outer match sends Bgpc elsewhere"),
             }
         }
     };
@@ -138,15 +195,18 @@ pub fn cmd_color(flags: &[String]) -> i32 {
     );
 
     if let Some(path) = args.output {
-        match write_colors(&path, &colors) {
-            Ok(()) => println!("colors written to {path}"),
-            Err(e) => {
-                eprintln!("error writing {path}: {e}");
-                return 1;
-            }
-        }
+        write_colors(&path, &colors)
+            .map_err(|e| Failure::new(EXIT_OUTPUT, format!("writing {path}: {e}")))?;
+        println!("colors written to {path}");
     }
-    0
+    Ok(())
+}
+
+/// A degraded run is still a valid coloring; surface how it got there.
+fn report_degradation(degraded: &Option<bgpc::DegradeReason>) {
+    if let Some(reason) = degraded {
+        eprintln!("warning: parallel run degraded to sequential fallback: {reason}");
+    }
 }
 
 fn write_colors(path: &str, colors: &[i32]) -> std::io::Result<()> {
@@ -155,7 +215,7 @@ fn write_colors(path: &str, colors: &[i32]) -> std::io::Result<()> {
     for (v, &c) in colors.iter().enumerate() {
         writeln!(f, "{v} {c}")?;
     }
-    Ok(())
+    f.flush()
 }
 
 /// `bgpc-cli stats …`
@@ -164,16 +224,14 @@ pub fn cmd_stats(flags: &[String]) -> i32 {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
-    let matrix = match load(&args.input) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 1;
-        }
-    };
+    finish(stats(args))
+}
+
+fn stats(args: ColorArgs) -> Result<(), Failure> {
+    let matrix = load(&args.input)?;
     let rows = DegreeStats::rows(&matrix);
     let cols = DegreeStats::cols(&matrix);
     println!("shape: {} x {}, nnz {}", matrix.nrows(), matrix.ncols(), matrix.nnz());
@@ -189,7 +247,8 @@ pub fn cmd_stats(flags: &[String]) -> i32 {
         matrix.nrows() == matrix.ncols() && matrix.strip_diagonal().is_structurally_symmetric();
     println!("structurally symmetric: {symmetric}");
     if symmetric {
-        let g = Graph::from_symmetric_matrix(&matrix);
+        let g = Graph::try_from_symmetric_matrix(&matrix)
+            .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
         let natural: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let rcm = graph::rcm_permutation(&g);
         println!(
@@ -199,7 +258,7 @@ pub fn cmd_stats(flags: &[String]) -> i32 {
         );
     }
     println!("BGPC color lower bound (max net size): {}", rows.max);
-    0
+    Ok(())
 }
 
 /// `bgpc-cli generate …`
@@ -209,34 +268,31 @@ pub fn cmd_generate(flags: &[String]) -> i32 {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let Input::Dataset { dataset, scale, seed } = args.input else {
         eprintln!("error: generate needs --dataset (not --mtx)");
-        return 2;
+        return EXIT_USAGE;
     };
     let Some(path) = args.output else {
         eprintln!("error: generate needs --output FILE");
-        return 2;
+        return EXIT_USAGE;
     };
     let inst = dataset.build(scale, seed);
-    match sparse::mm::write_pattern_file(&path, &inst.matrix) {
-        Ok(()) => {
-            println!(
-                "wrote {} analogue at scale {scale} (seed {seed}) to {path}: {} x {}, {} nnz",
-                Dataset::name(&dataset),
-                inst.matrix.nrows(),
-                inst.matrix.ncols(),
-                inst.matrix.nnz()
-            );
-            0
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            1
-        }
-    }
+    finish(
+        sparse::mm::write_pattern_file(&path, &inst.matrix)
+            .map(|()| {
+                println!(
+                    "wrote {} analogue at scale {scale} (seed {seed}) to {path}: {} x {}, {} nnz",
+                    Dataset::name(&dataset),
+                    inst.matrix.nrows(),
+                    inst.matrix.ncols(),
+                    inst.matrix.nnz()
+                );
+            })
+            .map_err(|e| Failure::new(EXIT_OUTPUT, format!("writing {path}: {e}"))),
+    )
 }
 
 #[cfg(test)]
@@ -251,13 +307,16 @@ mod tests {
             scale: 0.002,
             seed: 1,
         })
-        .unwrap();
+        .unwrap_or_else(|f| panic!("{}", f.msg));
         assert!(m.nnz() > 0);
     }
 
     #[test]
-    fn load_missing_mtx_fails() {
-        assert!(load(&Input::Mtx("/definitely/not/here.mtx".into())).is_err());
+    fn load_missing_mtx_maps_to_input_code() {
+        let Err(f) = load(&Input::Mtx("/definitely/not/here.mtx".into())) else {
+            panic!("must fail");
+        };
+        assert_eq!(f.code, EXIT_INPUT);
     }
 
     #[test]
@@ -269,5 +328,58 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "% vertex color\n0 3\n1 0\n2 1\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn s(flags: &[&str]) -> Vec<String> {
+        flags.iter().map(|f| f.to_string()).collect()
+    }
+
+    #[test]
+    fn color_to_unwritable_directory_exits_with_output_code() {
+        let code = cmd_color(&s(&[
+            "--dataset",
+            "af_shell10",
+            "--scale",
+            "0.002",
+            "--output",
+            "/definitely/not/a/dir/colors.txt",
+        ]));
+        assert_eq!(code, EXIT_OUTPUT);
+    }
+
+    #[test]
+    fn asymmetric_pattern_for_d2gc_exits_with_graph_code() {
+        // generate a rectangular (hence non-symmetric) pattern file
+        let dir = std::env::temp_dir().join("bgpc-cli-asym");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rect.mtx");
+        let m = sparse::gen::bipartite_uniform(4, 7, 12, 3);
+        sparse::mm::write_pattern_file(path.to_str().unwrap(), &m).unwrap();
+        let code = cmd_color(&s(&[
+            "--mtx",
+            path.to_str().unwrap(),
+            "--problem",
+            "d2gc",
+        ]));
+        assert_eq!(code, EXIT_GRAPH);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_input_exits_with_input_code() {
+        let code = cmd_color(&s(&["--mtx", "/definitely/not/here.mtx"]));
+        assert_eq!(code, EXIT_INPUT);
+    }
+
+    #[test]
+    fn bad_flags_exit_with_usage_code() {
+        let code = cmd_color(&s(&["--no-such-flag"]));
+        assert_eq!(code, EXIT_USAGE);
+    }
+
+    #[test]
+    fn successful_color_run_exits_zero() {
+        let code = cmd_color(&s(&["--dataset", "af_shell10", "--scale", "0.002"]));
+        assert_eq!(code, 0);
     }
 }

@@ -25,6 +25,7 @@ pub fn color_workqueue_net(
     scratch: &ThreadScratch<ThreadCtx>,
 ) {
     pool.for_dynamic(g.n_vertices(), NET_CHUNK, |tid, range| {
+        par::faults::fire("d2gc.color", tid);
         scratch.with(tid, |ctx| {
             for v in range {
                 ctx.fb.advance();
@@ -83,6 +84,7 @@ pub fn remove_conflicts_net(
     scratch: &ThreadScratch<ThreadCtx>,
 ) {
     pool.for_dynamic(g.n_vertices(), NET_CHUNK, |tid, range| {
+        par::faults::fire("d2gc.conflict", tid);
         scratch.with(tid, |ctx| {
             for v in range {
                 ctx.fb.advance();
@@ -115,6 +117,7 @@ pub fn collect_uncolored(
 ) -> Vec<u32> {
     let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
     pool.for_static(order.len(), |tid, range| {
+        par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
             debug_assert!(ctx.local_queue.is_empty());
             for &u in &order[range] {

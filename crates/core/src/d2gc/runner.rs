@@ -1,25 +1,52 @@
 //! Speculative driver for D2GC, mirroring [`crate::runner`].
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use graph::Graph;
 use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
 use crate::d2gc::{net, vertex};
-use crate::metrics::{count_distinct_colors, ColoringResult, IterationMetrics};
+use crate::error::{validate_order, ColoringError};
+use crate::metrics::{
+    count_distinct_colors, ColoringResult, DegradeReason, FailedPhase, IterationMetrics,
+};
+use crate::runner::RunnerOpts;
 use crate::schedule::PhaseKind;
 use crate::workqueue::SharedQueue;
-use crate::{Colors, Schedule};
-
-const MAX_ITERATIONS: usize = 256;
+use crate::{Colors, Schedule, UNCOLORED};
 
 /// Runs the full speculative D2GC loop with the given [`Schedule`].
 ///
 /// The schedule's net/vertex switching, chunking, queue strategy and
 /// balancing knobs apply exactly as in BGPC; the `net_variant` field is
 /// ignored (D2GC has a single net-based coloring algorithm, Algorithm 9).
+///
+/// Faults degrade instead of aborting, exactly as in
+/// [`crate::color_bgpc`]: see [`ColoringResult::degraded`].
 pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) -> ColoringResult {
+    color_d2gc_with_opts(g, order, schedule, pool, RunnerOpts::default())
+}
+
+/// [`color_d2gc`] with an order validated against the vertex set.
+pub fn try_color_d2gc(
+    g: &Graph,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+) -> Result<ColoringResult, ColoringError> {
+    validate_order(order, g.n_vertices())?;
+    Ok(color_d2gc(g, order, schedule, pool))
+}
+
+/// [`color_d2gc`] with explicit [`RunnerOpts`].
+pub fn color_d2gc_with_opts(
+    g: &Graph,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+    opts: RunnerOpts,
+) -> ColoringResult {
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n);
     let colors = Colors::new(n);
@@ -29,13 +56,17 @@ pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) ->
 
     let mut w: Vec<u32> = order.to_vec();
     let mut iterations = Vec::new();
+    let mut degraded: Option<DegradeReason> = None;
     let start = Instant::now();
 
     let mut iter = 0usize;
     while !w.is_empty() {
-        if iter >= MAX_ITERATIONS {
-            sequential_fallback(g, &w, &colors);
+        if iter >= opts.max_iterations {
+            degraded = Some(DegradeReason::IterationCap {
+                cap: opts.max_iterations,
+            });
             let queue_in = w.len();
+            repair_sequential(g, order, &colors);
             w.clear();
             iterations.push(IterationMetrics {
                 iter,
@@ -43,7 +74,7 @@ pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) ->
                 color_kind: PhaseKind::Vertex,
                 conflict_kind: PhaseKind::Vertex,
                 color_time: start.elapsed(),
-                conflict_time: std::time::Duration::ZERO,
+                conflict_time: Duration::ZERO,
                 queue_out: 0,
             });
             break;
@@ -54,7 +85,7 @@ pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) ->
         let conflict_kind = schedule.conflict_kind(iter);
 
         let t_color = Instant::now();
-        match color_kind {
+        let color_outcome = par::contain(|| match color_kind {
             PhaseKind::Vertex => vertex::color_workqueue_vertex(
                 g,
                 &w,
@@ -67,11 +98,31 @@ pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) ->
             PhaseKind::Net => {
                 net::color_workqueue_net(g, &colors, pool, schedule.balance, &scratch)
             }
-        }
+        });
         let color_time = t_color.elapsed();
 
+        if let Err(fault) = color_outcome {
+            degraded = Some(DegradeReason::WorkerPanic {
+                phase: FailedPhase::Color,
+                iter,
+                message: fault.first_message(),
+            });
+            repair_sequential(g, order, &colors);
+            w.clear();
+            iterations.push(IterationMetrics {
+                iter,
+                queue_in,
+                color_kind,
+                conflict_kind,
+                color_time,
+                conflict_time: Duration::ZERO,
+                queue_out: 0,
+            });
+            break;
+        }
+
         let t_conflict = Instant::now();
-        let wnext = match conflict_kind {
+        let conflict_outcome = par::contain(|| match conflict_kind {
             PhaseKind::Vertex => vertex::remove_conflicts_vertex(
                 g,
                 &w,
@@ -85,8 +136,31 @@ pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) ->
                 net::remove_conflicts_net(g, &colors, pool, &scratch);
                 net::collect_uncolored(order, &colors, pool, &mut scratch)
             }
-        };
+        });
         let conflict_time = t_conflict.elapsed();
+
+        let wnext = match conflict_outcome {
+            Ok(wnext) => wnext,
+            Err(fault) => {
+                degraded = Some(DegradeReason::WorkerPanic {
+                    phase: FailedPhase::Conflict,
+                    iter,
+                    message: fault.first_message(),
+                });
+                repair_sequential(g, order, &colors);
+                w.clear();
+                iterations.push(IterationMetrics {
+                    iter,
+                    queue_in,
+                    color_kind,
+                    conflict_kind,
+                    color_time,
+                    conflict_time,
+                    queue_out: 0,
+                });
+                break;
+            }
+        };
 
         iterations.push(IterationMetrics {
             iter,
@@ -108,7 +182,49 @@ pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) ->
         num_colors,
         iterations,
         total_time: start.elapsed(),
+        degraded,
     }
+}
+
+/// Repairs an arbitrary partial D2GC coloring into a valid complete one.
+///
+/// Validity of a distance-2 coloring is equivalent to every *closed
+/// neighborhood* `{v} ∪ N(v)` being rainbow: adjacent pairs appear in each
+/// other's closed neighborhoods, and distance-2 pairs appear in their
+/// common neighbor's. The repair scans each closed neighborhood, keeps the
+/// first holder of every color and uncolors later duplicates, then
+/// first-fit colors the uncolored set in `order`.
+fn repair_sequential(g: &Graph, order: &[u32], colors: &Colors) {
+    let n = g.n_vertices();
+    let mut max_c: crate::Color = -1;
+    for u in 0..n {
+        max_c = max_c.max(colors.get(u));
+    }
+    let width = (max_c + 1) as usize + 1;
+    let mut stamp = vec![usize::MAX; width];
+    let mut holder = vec![0u32; width];
+    for v in 0..n {
+        let members = std::iter::once(v as u32).chain(g.nbor(v).iter().copied());
+        for u in members {
+            let c = colors.get(u as usize);
+            if c == UNCOLORED {
+                continue;
+            }
+            let ci = c as usize;
+            if stamp[ci] == v && holder[ci] != u {
+                colors.set(u as usize, UNCOLORED);
+            } else {
+                stamp[ci] = v;
+                holder[ci] = u;
+            }
+        }
+    }
+    let uncolored: Vec<u32> = order
+        .iter()
+        .copied()
+        .filter(|&u| colors.get(u as usize) == UNCOLORED)
+        .collect();
+    sequential_fallback(g, &uncolored, colors);
 }
 
 fn sequential_fallback(g: &Graph, w: &[u32], colors: &Colors) {

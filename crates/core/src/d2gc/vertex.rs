@@ -23,6 +23,7 @@ pub fn color_workqueue_vertex(
     scratch: &ThreadScratch<ThreadCtx>,
 ) {
     pool.for_dynamic(w.len(), chunk, |tid, range| {
+        par::faults::fire("d2gc.color", tid);
         scratch.with(tid, |ctx| {
             for &wv in &w[range] {
                 let wu = wv as usize;
@@ -61,6 +62,7 @@ pub fn remove_conflicts_vertex(
 ) -> Vec<u32> {
     let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
     pool.for_dynamic(w.len(), chunk, |tid, range| {
+        par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
             for &wv in &w[range] {
                 let wu = wv as usize;

@@ -1,0 +1,118 @@
+//! Structured errors for the coloring entry points.
+//!
+//! The runners themselves never fail — faults degrade to the sequential
+//! fallback (see [`crate::metrics::DegradeReason`]) — so this type covers
+//! the *input* contract: untrusted patterns, malformed processing orders,
+//! and the verification of finished colorings. The CLI maps each variant
+//! to a distinct exit code.
+
+use std::fmt;
+
+use graph::GraphError;
+
+/// Why a coloring request was rejected or its result found invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ColoringError {
+    /// The input pattern was rejected during graph construction.
+    Graph(GraphError),
+    /// The processing order does not cover the vertex set exactly once.
+    OrderMismatch {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A finished coloring failed verification — an internal invariant
+    /// violation, never expected in a correct build.
+    InvalidColoring(String),
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            ColoringError::OrderMismatch { detail } => {
+                write!(f, "invalid processing order: {detail}")
+            }
+            ColoringError::InvalidColoring(detail) => {
+                write!(f, "coloring failed verification: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColoringError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ColoringError {
+    fn from(e: GraphError) -> Self {
+        ColoringError::Graph(e)
+    }
+}
+
+/// Checks that `order` is a permutation of `0..n`.
+pub(crate) fn validate_order(order: &[u32], n: usize) -> Result<(), ColoringError> {
+    if order.len() != n {
+        return Err(ColoringError::OrderMismatch {
+            detail: format!("order has {} entries for {n} vertices", order.len()),
+        });
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        let vi = v as usize;
+        if vi >= n {
+            return Err(ColoringError::OrderMismatch {
+                detail: format!("order contains vertex id {v} >= {n}"),
+            });
+        }
+        if seen[vi] {
+            return Err(ColoringError::OrderMismatch {
+                detail: format!("order lists vertex {v} twice"),
+            });
+        }
+        seen[vi] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_permutation_passes() {
+        validate_order(&[2, 0, 1], 3).unwrap();
+        validate_order(&[], 0).unwrap();
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = validate_order(&[0, 1], 3).unwrap_err();
+        assert!(matches!(err, ColoringError::OrderMismatch { .. }));
+        assert!(err.to_string().contains("2 entries for 3 vertices"));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = validate_order(&[0, 7], 2).unwrap_err();
+        assert!(err.to_string().contains("id 7"));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = validate_order(&[0, 0, 1], 3).unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let e: ColoringError = graph::GraphError::NotSymmetric.into();
+        assert!(matches!(e, ColoringError::Graph(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -54,6 +54,7 @@ pub mod ctx;
 pub mod d1gc;
 pub mod d2gc;
 pub mod dkgc;
+pub mod error;
 pub mod forbidden;
 pub mod jp;
 pub mod metrics;
@@ -68,7 +69,8 @@ pub mod workqueue;
 
 pub use balance::Balance;
 pub use color::{Color, Colors, UNCOLORED};
+pub use error::ColoringError;
 pub use forbidden::StampSet;
-pub use metrics::{ColoringResult, IterationMetrics};
-pub use runner::color_bgpc;
+pub use metrics::{ColoringResult, DegradeReason, FailedPhase, IterationMetrics};
+pub use runner::{color_bgpc, color_bgpc_with_opts, try_color_bgpc, RunnerOpts};
 pub use schedule::{PhaseKind, Schedule};

@@ -28,6 +28,63 @@ pub struct IterationMetrics {
     pub queue_out: usize,
 }
 
+/// Which phase of the speculative loop a fault was contained in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailedPhase {
+    /// The optimistic coloring phase.
+    Color,
+    /// The conflict-detection/removal phase.
+    Conflict,
+}
+
+/// Why a run abandoned the parallel speculative loop and finished on the
+/// sequential fallback path. The resulting coloring is still valid and
+/// complete — degradation affects performance and determinism, not
+/// correctness — but callers measuring speedups must know it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The liveness guard tripped: the queue was still non-empty after the
+    /// configured iteration cap.
+    IterationCap {
+        /// The cap that was hit.
+        cap: usize,
+    },
+    /// A team member panicked inside a parallel phase; the panic was
+    /// contained and the run repaired sequentially.
+    WorkerPanic {
+        /// Phase the fault occurred in.
+        phase: FailedPhase,
+        /// Iteration number of the faulted phase.
+        iter: usize,
+        /// Captured panic message (first panicking thread).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FailedPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailedPhase::Color => write!(f, "coloring phase"),
+            FailedPhase::Conflict => write!(f, "conflict-removal phase"),
+        }
+    }
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::IterationCap { cap } => {
+                write!(f, "iteration cap of {cap} reached with a non-empty queue")
+            }
+            DegradeReason::WorkerPanic {
+                phase,
+                iter,
+                message,
+            } => write!(f, "panic in {phase} (iteration {iter}): {message}"),
+        }
+    }
+}
+
 /// The outcome of a full coloring run.
 #[derive(Clone, Debug)]
 pub struct ColoringResult {
@@ -40,9 +97,16 @@ pub struct ColoringResult {
     /// Total wall time of the speculative loop (excludes graph build and
     /// ordering, matching the paper's measurement boundary).
     pub total_time: Duration,
+    /// `Some` when the run fell back to sequential completion (iteration
+    /// cap or contained worker panic); `None` for a clean parallel run.
+    pub degraded: Option<DegradeReason>,
 }
 
 impl ColoringResult {
+    /// Whether the run degraded to the sequential fallback path.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
     /// Sum of the coloring-phase times.
     pub fn color_time(&self) -> Duration {
         self.iterations.iter().map(|m| m.color_time).sum()
@@ -102,11 +166,36 @@ mod tests {
             num_colors: 2,
             iterations: vec![metric(0, 10, 5, 20), metric(1, 2, 1, 0)],
             total_time: Duration::from_millis(18),
+            degraded: None,
         };
         assert_eq!(r.color_time(), Duration::from_millis(12));
         assert_eq!(r.conflict_time(), Duration::from_millis(6));
         assert_eq!(r.rounds(), 2);
         assert_eq!(r.remaining_after_first(), 20);
+        assert!(!r.is_degraded());
+    }
+
+    #[test]
+    fn degradation_is_reported() {
+        let r = ColoringResult {
+            colors: vec![0],
+            num_colors: 1,
+            iterations: vec![],
+            total_time: Duration::ZERO,
+            degraded: Some(DegradeReason::WorkerPanic {
+                phase: FailedPhase::Color,
+                iter: 3,
+                message: "injected".into(),
+            }),
+        };
+        assert!(r.is_degraded());
+        match r.degraded.unwrap() {
+            DegradeReason::WorkerPanic { phase, iter, .. } => {
+                assert_eq!(phase, FailedPhase::Color);
+                assert_eq!(iter, 3);
+            }
+            other => panic!("unexpected reason: {other:?}"),
+        }
     }
 
     #[test]

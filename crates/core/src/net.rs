@@ -76,6 +76,7 @@ fn color_net_single_pass(
     reverse: bool,
 ) {
     pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
+        par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
             for v in range {
                 ctx.fb.advance();
@@ -116,6 +117,7 @@ fn color_net_two_pass(
     balance: Balance,
 ) {
     pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
+        par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
             for v in range {
                 ctx.fb.advance();
@@ -177,6 +179,7 @@ pub fn remove_conflicts_net(
     scratch: &ThreadScratch<ThreadCtx>,
 ) {
     pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
+        par::faults::fire("bgpc.conflict", tid);
         scratch.with(tid, |ctx| {
             for v in range {
                 ctx.fb.advance();
@@ -208,6 +211,7 @@ pub fn collect_uncolored(
 ) -> Vec<u32> {
     let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
     pool.for_static(order.len(), |tid, range| {
+        par::faults::fire("bgpc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
             debug_assert!(ctx.local_queue.is_empty());
             for &u in &order[range] {

@@ -1,31 +1,81 @@
 //! The speculative coloring driver (Algorithm 1) for BGPC.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use graph::BipartiteGraph;
 use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
-use crate::metrics::{count_distinct_colors, ColoringResult, IterationMetrics};
+use crate::error::{validate_order, ColoringError};
+use crate::metrics::{
+    count_distinct_colors, ColoringResult, DegradeReason, FailedPhase, IterationMetrics,
+};
 use crate::schedule::PhaseKind;
 use crate::workqueue::SharedQueue;
-use crate::{net, vertex, Colors, Schedule};
+use crate::{net, vertex, Colors, Schedule, UNCOLORED};
 
-/// Iteration cap before the driver abandons speculation and colors the
-/// remaining queue sequentially. Real runs finish in a handful of
+/// Default iteration cap before the driver abandons speculation and colors
+/// the remaining queue sequentially. Real runs finish in a handful of
 /// iterations; the cap is a liveness guard for adversarial inputs.
 const MAX_ITERATIONS: usize = 256;
+
+/// Tuning knobs of the speculative driver that are not part of the
+/// [`Schedule`] (they do not correspond to a paper configuration).
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerOpts {
+    /// Iteration cap before the sequential liveness fallback; the run is
+    /// reported as degraded ([`DegradeReason::IterationCap`]) if it trips.
+    pub max_iterations: usize,
+}
+
+impl Default for RunnerOpts {
+    fn default() -> Self {
+        Self {
+            max_iterations: MAX_ITERATIONS,
+        }
+    }
+}
 
 /// Runs the full speculative BGPC loop with the given [`Schedule`].
 ///
 /// `order` is the processing order of the colored side (`V_A`); it doubles
 /// as the initial work queue. Returns the final (valid, complete) coloring
 /// plus per-iteration metrics.
+///
+/// # Fault model
+///
+/// A panic inside a parallel phase (or an iteration-cap trip) does not
+/// abort the run: the partial state is repaired sequentially and the
+/// result is flagged via [`ColoringResult::degraded`]. The coloring is
+/// valid and complete either way.
 pub fn color_bgpc(
     g: &BipartiteGraph,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
+) -> ColoringResult {
+    color_bgpc_with_opts(g, order, schedule, pool, RunnerOpts::default())
+}
+
+/// [`color_bgpc`] with an order validated against the vertex set — the
+/// entry point for untrusted inputs (CLI, external order files).
+pub fn try_color_bgpc(
+    g: &BipartiteGraph,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+) -> Result<ColoringResult, ColoringError> {
+    validate_order(order, g.n_vertices())?;
+    Ok(color_bgpc(g, order, schedule, pool))
+}
+
+/// [`color_bgpc`] with explicit [`RunnerOpts`].
+pub fn color_bgpc_with_opts(
+    g: &BipartiteGraph,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+    opts: RunnerOpts,
 ) -> ColoringResult {
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n, "order must cover every vertex");
@@ -38,16 +88,20 @@ pub fn color_bgpc(
 
     let mut w: Vec<u32> = order.to_vec();
     let mut iterations = Vec::new();
+    let mut degraded: Option<DegradeReason> = None;
     let start = Instant::now();
 
     let mut iter = 0usize;
     while !w.is_empty() {
-        if iter >= MAX_ITERATIONS {
+        if iter >= opts.max_iterations {
             // Liveness fallback: sequentially color what's left. The
-            // vertex-based kernel on a single-thread pool is exactly the
-            // sequential greedy pass, so no conflicts can remain.
-            sequential_fallback(g, &w, &colors);
+            // remaining queue holds losers whose stale colors the next
+            // coloring phase would have overwritten, so repair first.
+            degraded = Some(DegradeReason::IterationCap {
+                cap: opts.max_iterations,
+            });
             let queue_in = w.len();
+            repair_sequential(g, order, &colors);
             w.clear();
             iterations.push(IterationMetrics {
                 iter,
@@ -55,7 +109,7 @@ pub fn color_bgpc(
                 color_kind: PhaseKind::Vertex,
                 conflict_kind: PhaseKind::Vertex,
                 color_time: start.elapsed(),
-                conflict_time: std::time::Duration::ZERO,
+                conflict_time: Duration::ZERO,
                 queue_out: 0,
             });
             break;
@@ -66,7 +120,7 @@ pub fn color_bgpc(
         let conflict_kind = schedule.conflict_kind(iter);
 
         let t_color = Instant::now();
-        match color_kind {
+        let color_outcome = par::contain(|| match color_kind {
             PhaseKind::Vertex => vertex::color_workqueue_vertex(
                 g,
                 &w,
@@ -84,11 +138,31 @@ pub fn color_bgpc(
                 schedule.balance,
                 &scratch,
             ),
-        }
+        });
         let color_time = t_color.elapsed();
 
+        if let Err(fault) = color_outcome {
+            degraded = Some(DegradeReason::WorkerPanic {
+                phase: FailedPhase::Color,
+                iter,
+                message: fault.first_message(),
+            });
+            repair_sequential(g, order, &colors);
+            w.clear();
+            iterations.push(IterationMetrics {
+                iter,
+                queue_in,
+                color_kind,
+                conflict_kind,
+                color_time,
+                conflict_time: Duration::ZERO,
+                queue_out: 0,
+            });
+            break;
+        }
+
         let t_conflict = Instant::now();
-        let wnext = match conflict_kind {
+        let conflict_outcome = par::contain(|| match conflict_kind {
             PhaseKind::Vertex => vertex::remove_conflicts_vertex(
                 g,
                 &w,
@@ -102,8 +176,31 @@ pub fn color_bgpc(
                 net::remove_conflicts_net(g, &colors, pool, &scratch);
                 net::collect_uncolored(order, &colors, pool, &mut scratch)
             }
-        };
+        });
         let conflict_time = t_conflict.elapsed();
+
+        let wnext = match conflict_outcome {
+            Ok(wnext) => wnext,
+            Err(fault) => {
+                degraded = Some(DegradeReason::WorkerPanic {
+                    phase: FailedPhase::Conflict,
+                    iter,
+                    message: fault.first_message(),
+                });
+                repair_sequential(g, order, &colors);
+                w.clear();
+                iterations.push(IterationMetrics {
+                    iter,
+                    queue_in,
+                    color_kind,
+                    conflict_kind,
+                    color_time,
+                    conflict_time,
+                    queue_out: 0,
+                });
+                break;
+            }
+        };
 
         iterations.push(IterationMetrics {
             iter,
@@ -125,6 +222,7 @@ pub fn color_bgpc(
         num_colors,
         iterations,
         total_time: start.elapsed(),
+        degraded,
     }
 }
 
@@ -147,6 +245,48 @@ fn sequential_fallback(g: &BipartiteGraph, w: &[u32], colors: &Colors) {
         }
         colors.set(wu, fb.first_fit_from(0));
     }
+}
+
+/// Repairs an arbitrary partial — possibly conflicting — coloring into a
+/// valid, complete one, sequentially.
+///
+/// A contained fault leaves the color array in an unspecified state: some
+/// vertices uncolored, some holding stale colors that conflict within a
+/// net. The repair keeps the first holder of each color per net, uncolors
+/// every later duplicate, then first-fit colors all uncolored vertices in
+/// `order`. Each recolored vertex avoids every color currently visible in
+/// its distance-2 neighborhood, so the final coloring is valid regardless
+/// of which writes the faulted phase completed.
+fn repair_sequential(g: &BipartiteGraph, order: &[u32], colors: &Colors) {
+    let n = g.n_vertices();
+    let mut max_c: crate::Color = -1;
+    for u in 0..n {
+        max_c = max_c.max(colors.get(u));
+    }
+    let width = (max_c + 1) as usize + 1;
+    let mut stamp = vec![usize::MAX; width];
+    let mut holder = vec![0u32; width];
+    for v in 0..g.n_nets() {
+        for &u in g.vtxs(v) {
+            let c = colors.get(u as usize);
+            if c == UNCOLORED {
+                continue;
+            }
+            let ci = c as usize;
+            if stamp[ci] == v && holder[ci] != u {
+                colors.set(u as usize, UNCOLORED);
+            } else {
+                stamp[ci] = v;
+                holder[ci] = u;
+            }
+        }
+    }
+    let uncolored: Vec<u32> = order
+        .iter()
+        .copied()
+        .filter(|&u| colors.get(u as usize) == UNCOLORED)
+        .collect();
+    sequential_fallback(g, &uncolored, colors);
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub fn color_workqueue_vertex(
     scratch: &ThreadScratch<ThreadCtx>,
 ) {
     pool.for_dynamic(w.len(), chunk, |tid, range| {
+        par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
             for &wv in &w[range] {
                 let wu = wv as usize;
@@ -70,6 +71,7 @@ pub fn remove_conflicts_vertex(
 ) -> Vec<u32> {
     let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
     pool.for_dynamic(w.len(), chunk, |tid, range| {
+        par::faults::fire("bgpc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
             for &wv in &w[range] {
                 let wu = wv as usize;

@@ -1,47 +1,39 @@
 //! Property tests for the BSP distributed baseline: any partition of any
 //! bipartite pattern must converge to a valid coloring, and one rank must
 //! equal the sequential greedy.
+//!
+//! Built on the in-repo `minicheck` choice-stream harness.
 
-use proptest::prelude::*;
+use minicheck::{check, prop_assert, prop_assert_eq, Gen};
 
 use dist::{DistRunner, Partition};
 use graph::BipartiteGraph;
 use sparse::Csr;
 
-fn arb_bipartite() -> impl Strategy<Value = Csr> {
-    (1usize..16, 1usize..20).prop_flat_map(|(nrows, ncols)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..ncols as u32, 0..8usize),
-            nrows,
-        )
-        .prop_map(move |rows| Csr::from_rows(ncols, &rows))
-    })
+fn arb_bipartite(g: &mut Gen) -> Csr {
+    let nrows = g.usize_in(1..16);
+    let ncols = g.usize_in(1..20);
+    let rows: Vec<Vec<u32>> =
+        (0..nrows).map(|_| g.vec_of(0..8, |g| g.u32_in(0..ncols as u32))).collect();
+    Csr::from_rows(ncols, &rows)
 }
 
-fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
-    (1usize..6, 0u64..1000).prop_map(move |(p, seed)| match seed % 3 {
+fn arb_partition(g: &mut Gen, n: usize) -> Partition {
+    let p = g.usize_in(1..6);
+    let seed = g.u64_in(0..1000);
+    match seed % 3 {
         0 => Partition::block(n, p),
         1 => Partition::cyclic(n, p),
         _ => Partition::random(n, p, seed),
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn any_partition_converges_to_valid_coloring(
-        matrix in arb_bipartite(),
-        pseed in 0u64..1000,
-        ranks in 1usize..6,
-    ) {
+#[test]
+fn any_partition_converges_to_valid_coloring() {
+    check("any_partition_converges_to_valid_coloring", 64, |gen| {
+        let matrix = arb_bipartite(gen);
         let g = BipartiteGraph::from_matrix(&matrix);
-        let n = g.n_vertices();
-        let partition = match pseed % 3 {
-            0 => Partition::block(n, ranks),
-            1 => Partition::cyclic(n, ranks),
-            _ => Partition::random(n, ranks, pseed),
-        };
+        let partition = arb_partition(gen, g.n_vertices());
         let runner = DistRunner::new(&g, partition);
         let r = runner.run();
         prop_assert!(bgpc::verify::verify_bgpc(&g, &r.colors).is_ok());
@@ -50,10 +42,14 @@ proptest! {
         if let Some(last) = r.supersteps.last() {
             prop_assert_eq!(last.conflicts, 0);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn one_rank_equals_sequential(matrix in arb_bipartite()) {
+#[test]
+fn one_rank_equals_sequential() {
+    check("one_rank_equals_sequential", 64, |gen| {
+        let matrix = arb_bipartite(gen);
         let g = BipartiteGraph::from_matrix(&matrix);
         let runner = DistRunner::new(&g, Partition::block(g.n_vertices(), 1));
         let r = runner.run();
@@ -62,10 +58,16 @@ proptest! {
         prop_assert_eq!(r.num_colors, k);
         prop_assert_eq!(r.total_messages(), 0);
         prop_assert_eq!(r.colors, seq);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn partitions_are_total_assignments(n in 0usize..200, p in 1usize..8, seed in 0u64..100) {
+#[test]
+fn partitions_are_total_assignments() {
+    check("partitions_are_total_assignments", 64, |gen| {
+        let n = gen.usize_in(0..200);
+        let p = gen.usize_in(1..8);
+        let seed = gen.u64_in(0..100);
         for partition in [
             Partition::block(n, p),
             Partition::cyclic(n, p),
@@ -81,12 +83,6 @@ proptest! {
                 }
             }
         }
-    }
-}
-
-#[test]
-fn partition_strategy_used_by_arb_helper_compiles() {
-    // keep the helper exercised even though proptest inlines its own
-    let strat = arb_partition(10);
-    let _ = &strat;
+        Ok(())
+    });
 }

@@ -2,6 +2,8 @@
 
 use sparse::Csr;
 
+use crate::error::{validate_pattern, GraphError};
+
 /// A bipartite graph `G = (V_A ∪ V_B, E)` stored as two CSRs.
 ///
 /// Following the paper's hypergraph vocabulary, `V_A` members are
@@ -46,6 +48,20 @@ impl BipartiteGraph {
             vtx_to_net: matrix.transpose(),
             net_to_vtx: matrix,
         }
+    }
+
+    /// Validating constructor for untrusted patterns: rejects out-of-bounds
+    /// or duplicate column indices and dimensions beyond the `u32` index
+    /// space instead of panicking (or worse, silently mis-indexing) later.
+    pub fn try_from_matrix(matrix: &Csr) -> Result<Self, GraphError> {
+        validate_pattern(matrix)?;
+        Ok(Self::from_matrix(matrix))
+    }
+
+    /// Owned variant of [`try_from_matrix`](Self::try_from_matrix).
+    pub fn try_from_matrix_owned(matrix: Csr) -> Result<Self, GraphError> {
+        validate_pattern(&matrix)?;
+        Ok(Self::from_matrix_owned(matrix))
     }
 
     /// Number of vertices (`|V_A|`, the colored side).
@@ -183,6 +199,40 @@ mod tests {
         g.for_each_d2_neighbor(3, |w| nbrs3.push(w));
         nbrs3.sort_unstable();
         assert_eq!(nbrs3, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_from_matrix_accepts_valid_pattern() {
+        let m = Csr::from_rows(4, &[vec![0, 1], vec![1, 2, 3], vec![3]]);
+        let g = BipartiteGraph::try_from_matrix(&m).unwrap();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_nets(), 3);
+        let owned = BipartiteGraph::try_from_matrix_owned(m).unwrap();
+        assert_eq!(owned.n_pins(), 6);
+    }
+
+    #[test]
+    fn try_from_matrix_rejects_out_of_bounds_column() {
+        // Column 5 in a 3-column pattern; bypass the panicking constructor.
+        let m = Csr::try_from_parts(1, 3, vec![0, 2], vec![0, 5]);
+        assert!(m.is_err(), "try_from_parts must reject the bad column");
+        // Construct via the unvalidated empty + widen trick is impossible,
+        // so exercise the error type through validate_pattern's other arm:
+        // duplicate columns (non-strictly-increasing rows).
+        let dup = Csr::try_from_parts(1, 3, vec![0, 2], vec![1, 1]);
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn graph_error_messages_are_descriptive() {
+        use crate::GraphError;
+        let e = GraphError::DimensionOverflow {
+            what: "columns",
+            value: usize::MAX,
+        };
+        assert!(e.to_string().contains("u32 index space"));
+        let e = GraphError::InvalidPattern("row 0 not strictly increasing".into());
+        assert!(e.to_string().contains("row 0"));
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! queue, not the graph itself.
 
 pub mod bipartite;
+pub mod error;
 pub mod order;
 pub mod rcm;
 pub mod unipartite;
 
 pub use bipartite::BipartiteGraph;
+pub use error::GraphError;
 pub use order::Ordering;
 pub use rcm::{bandwidth, rcm_permutation};
 pub use unipartite::Graph;

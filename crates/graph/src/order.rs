@@ -9,9 +9,7 @@
 //! *processing* order of the initial work queue — the graph itself is never
 //! relabeled.
 
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use rng::Pcg32;
 
 use crate::{BipartiteGraph, Graph};
 
@@ -150,11 +148,7 @@ fn natural(n: usize) -> Vec<u32> {
 
 fn random(n: usize, seed: u64) -> Vec<u32> {
     let mut order = natural(n);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        order.swap(i, j);
-    }
+    Pcg32::seed_from_u64(seed).shuffle(&mut order);
     order
 }
 

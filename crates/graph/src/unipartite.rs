@@ -34,6 +34,24 @@ impl Graph {
         }
     }
 
+    /// Validating constructor for untrusted patterns: rejects malformed
+    /// CSR structure, oversized dimensions, non-square shapes and (after
+    /// diagonal removal) asymmetric adjacency with a structured error.
+    pub fn try_from_symmetric_matrix(matrix: &Csr) -> Result<Self, crate::GraphError> {
+        crate::error::validate_pattern(matrix)?;
+        if matrix.nrows() != matrix.ncols() {
+            return Err(crate::GraphError::NotSquare {
+                nrows: matrix.nrows(),
+                ncols: matrix.ncols(),
+            });
+        }
+        let adj = matrix.strip_diagonal();
+        if !adj.is_structurally_symmetric() {
+            return Err(crate::GraphError::NotSymmetric);
+        }
+        Ok(Self { adj })
+    }
+
     /// Builds directly from an adjacency CSR that already satisfies the
     /// invariants (validated in debug builds).
     pub fn from_adjacency(adj: Csr) -> Self {
@@ -161,5 +179,33 @@ mod tests {
         let g = Graph::from_symmetric_matrix(&Csr::empty(0, 0));
         assert_eq!(g.n_vertices(), 0);
         assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn try_constructor_accepts_valid_symmetric() {
+        let g = Graph::try_from_symmetric_matrix(&Csr::from_rows(
+            4,
+            &[vec![1], vec![0, 2], vec![1, 3], vec![2]],
+        ))
+        .unwrap();
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn try_constructor_rejects_non_square() {
+        let err = Graph::try_from_symmetric_matrix(&Csr::from_rows(3, &[vec![0], vec![1]]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::GraphError::NotSquare { nrows: 2, ncols: 3 }
+        );
+    }
+
+    #[test]
+    fn try_constructor_rejects_asymmetric() {
+        let err = Graph::try_from_symmetric_matrix(&Csr::from_rows(2, &[vec![1], vec![]]))
+            .unwrap_err();
+        assert_eq!(err, crate::GraphError::NotSymmetric);
+        assert!(err.to_string().contains("symmetric"));
     }
 }

@@ -1,0 +1,370 @@
+//! Minimal property-based testing for the offline workspace.
+//!
+//! Replaces `proptest` with the smallest design that still gives the two
+//! things that matter: **seeded, reproducible random cases** and
+//! **shrinking**. The approach is the choice-stream model (as in
+//! Hypothesis/minithesis): a property draws values through a [`Gen`], every
+//! draw is recorded as a `u64` choice, and when a case fails the *recorded
+//! stream* is shrunk — shorter streams and smaller choice values are
+//! replayed until the failure is minimal. Generators therefore shrink for
+//! free; no per-type shrinker is written.
+//!
+//! ```
+//! minicheck::check("sum_commutes", 64, |g| {
+//!     let a = g.usize_in(0..1000);
+//!     let b = g.usize_in(0..1000);
+//!     minicheck::prop_assert_eq!(a + b, b + a);
+//!     Ok(())
+//! });
+//! ```
+//!
+//! A failing property panics with the minimized choice stream and the seed
+//! of the failing case; setting `MINICHECK_SEED=<n>` reruns every property
+//! from that base seed.
+
+use rng::{split_mix64, Pcg32};
+
+/// Outcome of one property execution: `Err` carries the failure message.
+pub type PropResult = Result<(), String>;
+
+/// The value source handed to properties. Every draw is recorded so the
+/// runner can replay and shrink failing cases.
+pub struct Gen {
+    /// Forced prefix of choices (used during shrinking); beyond it, fresh
+    /// values come from `rng`.
+    prefix: Vec<u64>,
+    cursor: usize,
+    rng: Pcg32,
+    record: Vec<u64>,
+}
+
+impl Gen {
+    fn new(seed: u64, prefix: Vec<u64>) -> Self {
+        Self {
+            prefix,
+            cursor: 0,
+            rng: Pcg32::seed_from_u64(seed),
+            record: Vec::new(),
+        }
+    }
+
+    /// The primitive: one choice in `0..bound` (`bound == 0` yields 0).
+    pub fn choice(&mut self, bound: u64) -> u64 {
+        let v = if bound == 0 {
+            0
+        } else if self.cursor < self.prefix.len() {
+            // Replayed choices are clamped into range so stream edits made
+            // by the shrinker can never produce out-of-domain values.
+            self.prefix[self.cursor] % bound
+        } else {
+            self.rng.gen_range(0..bound)
+        };
+        self.cursor += 1;
+        self.record.push(v);
+        v
+    }
+
+    /// Uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.choice((range.end - range.start) as u64) as usize
+    }
+
+    /// Uniform `u64` in a half-open range.
+    pub fn u64_in(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.choice(range.end - range.start)
+    }
+
+    /// Uniform `u32` in a half-open range.
+    pub fn u32_in(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.u64_in(range.start as u64..range.end as u64) as u32
+    }
+
+    /// Bernoulli draw. Probability is quantized to 1/2⁳² so it fits the
+    /// integer choice model (plenty for test-case generation).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (1u64 << 32) as f64) as u64;
+        self.choice(1u64 << 32) < threshold
+    }
+
+    /// A vector with length drawn from `len` and elements from `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `cases` seeded executions of `prop`; on failure, shrinks the
+/// recorded choice stream and panics with the minimal reproduction.
+///
+/// The base seed is derived from the property name (stable across runs) or
+/// taken from the `MINICHECK_SEED` environment variable when set.
+pub fn check(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> PropResult) {
+    let base = match std::env::var("MINICHECK_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("MINICHECK_SEED must be a u64, got `{s}`")),
+        Err(_) => hash_name(name),
+    };
+    for case in 0..cases {
+        let seed = split_mix64(base.wrapping_add(case as u64));
+        let mut g = Gen::new(seed, Vec::new());
+        if let Err(msg) = prop(&mut g) {
+            let stream = std::mem::take(&mut g.record);
+            let (min_stream, min_msg) = shrink(seed, stream, msg, &prop);
+            panic!(
+                "property `{name}` failed (case {case}, seed {seed}):\n  {min_msg}\n  \
+                 minimized choices: {min_stream:?}\n  \
+                 rerun with MINICHECK_SEED={base}"
+            );
+        }
+    }
+}
+
+/// Replays `prop` with a forced prefix; returns the failure message if the
+/// candidate still fails.
+fn replay(
+    seed: u64,
+    prefix: &[u64],
+    prop: &impl Fn(&mut Gen) -> PropResult,
+) -> Option<(Vec<u64>, String)> {
+    let mut g = Gen::new(seed, prefix.to_vec());
+    match prop(&mut g) {
+        Err(msg) => Some((g.record, msg)),
+        Ok(()) => None,
+    }
+}
+
+/// Greedy choice-stream shrinker: deletes chunks, zeroes values, and
+/// divides/decrements values, accepting any edit that keeps the property
+/// failing, until a replay budget is exhausted or a fixpoint is reached.
+fn shrink(
+    seed: u64,
+    mut stream: Vec<u64>,
+    mut msg: String,
+    prop: &impl Fn(&mut Gen) -> PropResult,
+) -> (Vec<u64>, String) {
+    let mut budget = 1000usize;
+    let try_accept = |stream: &mut Vec<u64>,
+                          msg: &mut String,
+                          candidate: Vec<u64>,
+                          budget: &mut usize|
+     -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        if let Some((rec, m)) = replay(seed, &candidate, prop) {
+            if rec.len() < stream.len() || (rec.len() == stream.len() && rec < *stream) {
+                *stream = rec;
+                *msg = m;
+                return true;
+            }
+        }
+        false
+    };
+
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+        // Pass 1: delete chunks, large to small.
+        let mut size = stream.len().max(1);
+        while size >= 1 && budget > 0 {
+            let mut start = 0;
+            while start < stream.len() && budget > 0 {
+                let mut candidate = stream.clone();
+                candidate.drain(start..(start + size).min(candidate.len()));
+                if try_accept(&mut stream, &mut msg, candidate, &mut budget) {
+                    progress = true;
+                } else {
+                    start += size;
+                }
+            }
+            size /= 2;
+        }
+        // Pass 2: shrink individual values (zero, then halve, then -1);
+        // an accepted edit retries the same position until it bottoms out.
+        let mut i = 0;
+        while i < stream.len() && budget > 0 {
+            let original = stream[i];
+            let mut changed = false;
+            for replacement in [0, original / 2, original.saturating_sub(1)] {
+                if replacement >= original {
+                    continue;
+                }
+                let mut candidate = stream.clone();
+                candidate[i] = replacement;
+                if try_accept(&mut stream, &mut msg, candidate, &mut budget) {
+                    progress = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if !changed {
+                i += 1;
+            }
+        }
+    }
+    (stream, msg)
+}
+
+/// FNV-1a over the property name — a stable per-property base seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property, returning `Err` instead of
+/// panicking so the shrinker can replay the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Skips a case whose inputs do not satisfy a precondition (counts as a
+/// pass — mirrors `prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        let counter = std::cell::Cell::new(0u32);
+        check("always_true", 32, |g| {
+            let _ = g.usize_in(0..10);
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn failing_property_panics_with_minimized_stream() {
+        let caught = std::panic::catch_unwind(|| {
+            check("fails_above_10", 100, |g| {
+                let x = g.usize_in(0..1000);
+                crate::prop_assert!(x <= 10, "x = {x} exceeds 10");
+                Ok(())
+            });
+        });
+        let msg = *caught
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .expect("panic payload is the report string");
+        assert!(msg.contains("fails_above_10"), "report: {msg}");
+        // The shrinker must reduce the single offending choice to the
+        // boundary value 11.
+        assert!(msg.contains("minimized choices: [11]"), "report: {msg}");
+    }
+
+    #[test]
+    fn shrinker_drops_irrelevant_choices() {
+        let caught = std::panic::catch_unwind(|| {
+            check("vec_contains_big", 200, |g| {
+                let v = g.vec_of(0..20, |g| g.usize_in(0..100));
+                crate::prop_assert!(v.iter().all(|&x| x < 90));
+                Ok(())
+            });
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        // Minimal failing vector: length 1 with the boundary element 90 —
+        // a 2-choice stream [1, 90].
+        assert!(msg.contains("minimized choices: [1, 90]"), "report: {msg}");
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let collect = |seed: u64| -> Vec<u64> {
+            let mut g = Gen::new(seed, Vec::new());
+            (0..16).map(|_| g.choice(1000)).collect()
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+
+    #[test]
+    fn prefix_forces_choices_and_clamps() {
+        let mut g = Gen::new(7, vec![5, 999]);
+        assert_eq!(g.choice(10), 5);
+        assert_eq!(g.choice(10), 9); // 999 % 10
+        let free = g.choice(10); // beyond prefix: random but in range
+        assert!(free < 10);
+    }
+
+    #[test]
+    fn assume_skips_cases() {
+        check("assume_filters", 64, |g| {
+            let x = g.usize_in(0..10);
+            crate::prop_assume!(x % 2 == 0);
+            crate::prop_assert!(x % 2 == 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn bool_with_extremes() {
+        check("bool_p", 16, |g| {
+            crate::prop_assert!(!g.bool_with(0.0));
+            crate::prop_assert!(g.bool_with(1.0));
+            Ok(())
+        });
+    }
+}

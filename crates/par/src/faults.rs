@@ -1,0 +1,224 @@
+//! Fail-point registry for fault-injection testing.
+//!
+//! Kernels call [`fire`] at strategic points (e.g. `bgpc.color`,
+//! `bgpc.conflict`); production runs pay a single relaxed atomic load per
+//! call. Tests [`arm`] a point with a [`FaultAction`] to inject a panic or
+//! a stall into a specific phase — optionally on a specific thread — and
+//! then assert that the containment machinery ([`crate::Pool::try_run`],
+//! [`crate::contain`]) recovers.
+//!
+//! Points are keyed by name and the registry is process-global, so
+//! concurrently running tests must use distinct point names (or distinct
+//! test binaries). [`reset`] clears everything and is intended for
+//! single-binary harnesses.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed fail point does when it fires.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultAction {
+    /// Panic with a recognizable `fail point` message.
+    Panic,
+    /// Sleep for the given duration (stall injection).
+    Stall(Duration),
+}
+
+struct Armed {
+    point: &'static str,
+    action: FaultAction,
+    /// Firings left; an exhausted point stays registered for hit counting.
+    remaining: usize,
+    /// Restrict firing to one team thread id.
+    thread: Option<usize>,
+    hits: usize,
+}
+
+/// Fast-path gate: false until the first `arm` call of the process, so the
+/// hot kernels never touch the registry mutex in production.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> MutexGuard<'static, Vec<Armed>> {
+    static REG: OnceLock<Mutex<Vec<Armed>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        // A fired Panic action unwinds through test code that may hold no
+        // other locks; the registry itself is only mutated atomically, so
+        // recover from poisoning.
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `point` to fire `action` once, on any thread.
+pub fn arm(point: &'static str, action: FaultAction) {
+    arm_with(point, action, 1, None);
+}
+
+/// Arms `point` to fire `action` up to `times` times, optionally only on
+/// team thread `thread`. Re-arming a point replaces its previous spec.
+pub fn arm_with(point: &'static str, action: FaultAction, times: usize, thread: Option<usize>) {
+    let mut reg = registry();
+    reg.retain(|a| a.point != point);
+    reg.push(Armed {
+        point,
+        action,
+        remaining: times,
+        thread,
+        hits: 0,
+    });
+    ANY_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Removes `point` from the registry (no-op if absent).
+pub fn disarm(point: &'static str) {
+    let mut reg = registry();
+    reg.retain(|a| a.point != point);
+    if reg.is_empty() {
+        ANY_ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Clears every armed point.
+pub fn reset() {
+    let mut reg = registry();
+    reg.clear();
+    ANY_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Number of times `point` has fired since it was (last) armed.
+pub fn hits(point: &str) -> usize {
+    registry()
+        .iter()
+        .find(|a| a.point == point)
+        .map(|a| a.hits)
+        .unwrap_or(0)
+}
+
+/// Evaluation site: kernels call this inside their parallel loops.
+///
+/// Costs one relaxed atomic load unless something is armed anywhere in the
+/// process; a firing `Panic` action unwinds with a message naming the point
+/// and thread.
+#[inline]
+pub fn fire(point: &'static str, tid: usize) {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    fire_slow(point, tid);
+}
+
+#[cold]
+fn fire_slow(point: &'static str, tid: usize) {
+    let action = {
+        let mut reg = registry();
+        let Some(armed) = reg.iter_mut().find(|a| a.point == point) else {
+            return;
+        };
+        if armed.remaining == 0 {
+            return;
+        }
+        if let Some(want) = armed.thread {
+            if want != tid {
+                return;
+            }
+        }
+        armed.remaining -= 1;
+        armed.hits += 1;
+        armed.action
+        // Guard dropped here: never panic while holding the registry lock.
+    };
+    match action {
+        FaultAction::Panic => panic!("fail point `{point}` fired on thread {tid}"),
+        FaultAction::Stall(d) => std::thread::sleep(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // Each test uses unique point names: the registry is process-global and
+    // tests run concurrently.
+
+    #[test]
+    fn unarmed_point_is_a_noop() {
+        fire("test.noop", 0);
+        assert_eq!(hits("test.noop"), 0);
+    }
+
+    #[test]
+    fn armed_panic_fires_once() {
+        arm("test.once", FaultAction::Panic);
+        let err = catch_unwind(|| fire("test.once", 3)).expect_err("must fire");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("test.once") && msg.contains("thread 3"), "{msg}");
+        // Exhausted: the second evaluation passes through.
+        fire("test.once", 3);
+        assert_eq!(hits("test.once"), 1);
+        disarm("test.once");
+    }
+
+    #[test]
+    fn thread_filter_restricts_firing() {
+        arm_with("test.tid", FaultAction::Panic, 1, Some(2));
+        fire("test.tid", 0);
+        fire("test.tid", 1);
+        assert_eq!(hits("test.tid"), 0);
+        let err = catch_unwind(|| fire("test.tid", 2));
+        assert!(err.is_err());
+        assert_eq!(hits("test.tid"), 1);
+        disarm("test.tid");
+    }
+
+    #[test]
+    fn stall_sleeps_without_panicking() {
+        arm("test.stall", FaultAction::Stall(Duration::from_millis(20)));
+        let t0 = std::time::Instant::now();
+        fire("test.stall", 0);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(hits("test.stall"), 1);
+        disarm("test.stall");
+    }
+
+    #[test]
+    fn multi_shot_arming_fires_repeatedly() {
+        arm_with("test.multi", FaultAction::Stall(Duration::ZERO), 3, None);
+        for _ in 0..5 {
+            fire("test.multi", 0);
+        }
+        assert_eq!(hits("test.multi"), 3);
+        disarm("test.multi");
+    }
+
+    #[test]
+    fn disarm_clears_point() {
+        arm("test.disarm", FaultAction::Panic);
+        disarm("test.disarm");
+        fire("test.disarm", 0); // must not panic
+        assert_eq!(hits("test.disarm"), 0);
+    }
+
+    #[test]
+    fn pool_worker_fault_is_contained() {
+        let pool = crate::Pool::new(4);
+        arm_with("test.pool", FaultAction::Panic, 1, Some(1));
+        let err = pool
+            .try_run(|tid| fire("test.pool", tid))
+            .expect_err("armed point must panic on tid 1");
+        assert_eq!(err.threads(), vec![1]);
+        assert!(err.first_message().contains("test.pool"));
+        disarm("test.pool");
+        pool.try_run(|_| {}).expect("pool survives injection");
+    }
+
+    #[test]
+    fn catch_unwind_is_unwind_safe_enough() {
+        // `fire` may unwind mid-region; AssertUnwindSafe mirrors the pool's
+        // own containment and must observe consistent registry state after.
+        arm("test.state", FaultAction::Panic);
+        let _ = catch_unwind(AssertUnwindSafe(|| fire("test.state", 0)));
+        assert_eq!(hits("test.state"), 1);
+        disarm("test.state");
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`ThreadScratch`] provides cache-padded per-thread workspaces that live
 //!   across parallel regions — the paper's "allocated only once, never reset"
 //!   forbidden-color arrays depend on this.
+//! * [`Pool::try_run`] and [`contain`] capture panics at the region/phase
+//!   boundary as [`RegionPanic`] values instead of aborting, and
+//!   [`faults`] provides the fail-point registry the fault-injection tests
+//!   use to prove that recovery works.
 //!
 //! # Example
 //!
@@ -37,11 +41,14 @@
 //! ```
 
 mod cursor;
+pub mod faults;
+mod padded;
 mod pool;
 mod scratch;
 
 pub use cursor::ChunkCursor;
-pub use pool::Pool;
+pub use padded::CachePadded;
+pub use pool::{contain, Pool, RegionPanic};
 pub use scratch::ThreadScratch;
 
 /// Returns the number of logical CPUs available to this process.

@@ -1,27 +1,37 @@
-//! Fork/join thread pool with caller participation.
+//! Fork/join thread pool with caller participation and fault containment.
 
+use std::any::Any;
+use std::fmt;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
-
 use crate::cursor::ChunkCursor;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// The pool is explicitly designed to survive panics inside parallel
+/// regions, so a poisoned lock is an expected state, not a bug: the
+/// protected `State` is only ever mutated under the lock in small,
+/// atomic steps that cannot be observed half-done.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Type-erased parallel region body: `f(thread_id)`.
 ///
 /// The pointer is only dereferenced between the publish in
-/// [`Pool::run`] and the completion barrier at the end of the same call, so
-/// the `'static` lifetime produced by the transmute in `run` never outlives
-/// the borrow it erases.
+/// [`Pool::try_run`] and the completion barrier at the end of the same
+/// call, so the `'static` lifetime produced by the transmute in `try_run`
+/// never outlives the borrow it erases.
 struct Job {
     f: *const (dyn Fn(usize) + Sync),
 }
 
 // SAFETY: the closure behind `f` is `Sync`, and `Job` values are only read
-// (never mutated) by workers while the owning `run` call keeps the referent
-// alive; see `Job` docs.
+// (never mutated) by workers while the owning `try_run` call keeps the
+// referent alive; see `Job` docs.
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
@@ -32,8 +42,8 @@ struct State {
     job: Option<Job>,
     /// Workers that have not yet finished the current region.
     remaining: usize,
-    /// Number of workers that panicked in the current region.
-    panics: usize,
+    /// Captured panic payloads from workers in the current region.
+    panics: Vec<(usize, Box<dyn Any + Send>)>,
     shutdown: bool,
 }
 
@@ -43,6 +53,107 @@ struct Shared {
     work_cv: Condvar,
     /// Signals the caller that all workers finished the region.
     done_cv: Condvar,
+}
+
+/// A panic captured inside a parallel region or a contained phase.
+///
+/// Holds the original payloads so callers that *want* the old abort
+/// behaviour can [`resume`](RegionPanic::resume) them, while callers that
+/// want fault containment can log [`first_message`](RegionPanic::first_message)
+/// and fall back to a sequential path. The team itself survives: the pool's
+/// worker threads catch the unwind at the region boundary and return to
+/// their idle loop, so subsequent regions run normally.
+pub struct RegionPanic {
+    /// `(thread id, payload)` per panicked team member, master (0) first.
+    payloads: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+impl RegionPanic {
+    /// Wraps a payload caught outside the pool (see [`crate::contain`]).
+    /// The catch happens on the calling thread, i.e. the team master.
+    pub fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        Self {
+            payloads: vec![(0, payload)],
+        }
+    }
+
+    /// Number of team members that panicked.
+    pub fn count(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Thread ids that panicked, ascending (master is 0).
+    pub fn threads(&self) -> Vec<usize> {
+        self.payloads.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Human-readable message of the first (lowest-tid) panic.
+    pub fn first_message(&self) -> String {
+        self.payloads
+            .first()
+            // `&**p` reborrows the payload itself; a bare `p` would unsize
+            // the `&Box` into the `dyn Any` and defeat the downcasts.
+            .map(|(tid, p)| format!("thread {tid}: {}", payload_str(&**p)))
+            .unwrap_or_else(|| "empty region panic".to_string())
+    }
+
+    /// Re-raises the captured panics with the pre-containment semantics:
+    /// a master panic resumes its original payload (so `catch_unwind`
+    /// callers see e.g. the original `&str`), while worker-only panics
+    /// raise a summary message.
+    pub fn resume(self) -> ! {
+        let workers = self.payloads.iter().filter(|(t, _)| *t != 0).count();
+        let detail = self.first_message();
+        for (tid, payload) in self.payloads {
+            if tid == 0 {
+                panic::resume_unwind(payload);
+            }
+        }
+        panic!("{workers} pool worker(s) panicked in parallel region ({detail})");
+    }
+}
+
+fn payload_str(p: &(dyn Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+impl fmt::Debug for RegionPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegionPanic")
+            .field("threads", &self.threads())
+            .field("first_message", &self.first_message())
+            .finish()
+    }
+}
+
+impl fmt::Display for RegionPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} team member(s) panicked in parallel region ({})",
+            self.count(),
+            self.first_message()
+        )
+    }
+}
+
+impl std::error::Error for RegionPanic {}
+
+/// Runs `f` on the current thread, converting an unwind into a
+/// [`RegionPanic`] instead of propagating it.
+///
+/// This is the phase-level containment primitive: the coloring runners wrap
+/// each kernel call (which may itself execute pool regions whose panics are
+/// re-raised by [`Pool::run`]) so a fault in any phase degrades to the
+/// sequential fallback instead of aborting the process.
+pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, RegionPanic> {
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(RegionPanic::from_payload)
 }
 
 /// A fixed team of threads executing fork/join parallel regions.
@@ -55,6 +166,14 @@ struct Shared {
 /// Threads are created once and reused for every region, so per-region cost
 /// is one mutex round-trip plus condvar wakeups — negligible against the
 /// millisecond-scale coloring iterations it schedules.
+///
+/// # Fault model
+///
+/// Workers wrap every region body in `catch_unwind`; a panicking member
+/// never takes down its OS thread. [`try_run`](Pool::try_run) reports the
+/// captured payloads as a [`RegionPanic`] and resets the region state, so
+/// the team remains usable. [`run`](Pool::run) keeps the historical
+/// panic-on-fault contract on top of `try_run`.
 pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -70,7 +189,7 @@ impl Pool {
                 epoch: 0,
                 job: None,
                 remaining: 0,
-                panics: 0,
+                panics: Vec::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -100,15 +219,19 @@ impl Pool {
     /// Executes `f(thread_id)` once on every team member and waits for all
     /// of them — an `omp parallel` region.
     ///
-    /// Panics if any team member panics.
-    pub fn run<F>(&self, f: F)
+    /// Panics captured from any team member are returned as a
+    /// [`RegionPanic`]; the pool itself stays usable either way. The range
+    /// of indices a faulted region actually processed is unspecified —
+    /// callers recover by re-validating results (the coloring runners
+    /// re-detect conflicts sequentially).
+    pub fn try_run<F>(&self, f: F) -> Result<(), RegionPanic>
     where
         F: Fn(usize) + Sync,
     {
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
-        // SAFETY: the erased borrow is dead before `run` returns — workers
-        // signal completion via `remaining`/`done_cv`, and we block on that
-        // barrier below before `f` can be dropped.
+        // SAFETY: the erased borrow is dead before `try_run` returns —
+        // workers signal completion via `remaining`/`done_cv`, and we block
+        // on that barrier below before `f` can be dropped.
         let job = Job {
             f: unsafe {
                 std::mem::transmute::<
@@ -119,12 +242,12 @@ impl Pool {
         };
 
         if self.threads > 1 {
-            let mut state = self.shared.state.lock();
+            let mut state = lock(&self.shared.state);
             debug_assert_eq!(state.remaining, 0, "nested/overlapping run detected");
             state.job = Some(job);
             state.epoch += 1;
             state.remaining = self.threads - 1;
-            state.panics = 0;
+            state.panics.clear();
             drop(state);
             self.shared.work_cv.notify_all();
         }
@@ -132,24 +255,45 @@ impl Pool {
         // The caller is thread 0.
         let master = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
 
-        let worker_panics = if self.threads > 1 {
-            let mut state = self.shared.state.lock();
+        let mut payloads: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+        if let Err(payload) = master {
+            payloads.push((0, payload));
+        }
+
+        if self.threads > 1 {
+            let mut state = lock(&self.shared.state);
             while state.remaining > 0 {
-                self.shared.done_cv.wait(&mut state);
+                state = self
+                    .shared
+                    .done_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             state.job = None;
-            state.panics
-        } else {
-            0
-        };
-
-        if let Err(payload) = master {
-            panic::resume_unwind(payload);
+            payloads.append(&mut state.panics);
         }
-        assert!(
-            worker_panics == 0,
-            "{worker_panics} pool worker(s) panicked in parallel region"
-        );
+
+        if payloads.is_empty() {
+            Ok(())
+        } else {
+            payloads.sort_by_key(|(tid, _)| *tid);
+            Err(RegionPanic { payloads })
+        }
+    }
+
+    /// Executes `f(thread_id)` once on every team member and waits for all
+    /// of them — an `omp parallel` region.
+    ///
+    /// Panics if any team member panics: a master panic is resumed with its
+    /// original payload, worker panics raise a summary. Use
+    /// [`try_run`](Pool::try_run) for recoverable fault containment.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if let Err(fault) = self.try_run(f) {
+            fault.resume();
+        }
     }
 
     /// Parallel for over `0..len` with dynamic chunk scheduling — the
@@ -199,7 +343,6 @@ impl Pool {
         M: Fn(usize, Range<usize>) -> T + Sync,
         F: Fn(T, T) -> T + Sync,
     {
-        use std::sync::Mutex;
         let partials: Vec<Mutex<T>> = (0..self.threads)
             .map(|_| Mutex::new(identity.clone()))
             .collect();
@@ -209,11 +352,11 @@ impl Pool {
             while let Some(range) = cursor.claim() {
                 acc = fold(acc, map(tid, range));
             }
-            *partials[tid].lock().unwrap() = acc;
+            *lock(&partials[tid]) = acc;
         });
         partials
             .into_iter()
-            .map(|m| m.into_inner().unwrap())
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .fold(identity, &fold)
     }
 }
@@ -221,7 +364,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock();
+            let mut state = lock(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -235,7 +378,7 @@ fn worker_loop(shared: &Shared, tid: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock();
+            let mut state = lock(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -245,18 +388,21 @@ fn worker_loop(shared: &Shared, tid: usize) {
                     let job = state.job.as_ref().expect("epoch advanced without job");
                     break Job { f: job.f };
                 }
-                shared.work_cv.wait(&mut state);
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
 
-        // SAFETY: `run` keeps the closure alive until `remaining` drops to
-        // zero, which only happens after this call returns.
+        // SAFETY: `try_run` keeps the closure alive until `remaining` drops
+        // to zero, which only happens after this call returns.
         let f = unsafe { &*job.f };
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(tid)));
 
-        let mut state = shared.state.lock();
-        if result.is_err() {
-            state.panics += 1;
+        let mut state = lock(&shared.state);
+        if let Err(payload) = result {
+            state.panics.push((tid, payload));
         }
         state.remaining -= 1;
         if state.remaining == 0 {
@@ -389,6 +535,78 @@ mod tests {
             total.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(total.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_run_reports_worker_panic_without_unwinding() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_run(|tid| {
+                if tid == 2 {
+                    panic!("injected at tid 2");
+                }
+            })
+            .expect_err("panic must be reported");
+        assert_eq!(err.count(), 1);
+        assert_eq!(err.threads(), vec![2]);
+        assert!(err.first_message().contains("injected at tid 2"));
+        // The team survives and the next region is clean.
+        let total = AtomicUsize::new(0);
+        pool.try_run(|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("clean region after fault");
+        assert_eq!(total.into_inner(), 4);
+    }
+
+    #[test]
+    fn try_run_captures_all_panicking_members() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_run(|tid| {
+                if tid % 2 == 0 {
+                    panic!("even thread {tid}");
+                }
+            })
+            .expect_err("panics must be reported");
+        assert_eq!(err.threads(), vec![0, 2]);
+        // Master is first, so its payload leads the report.
+        assert!(err.first_message().contains("thread 0"));
+    }
+
+    #[test]
+    fn try_run_single_thread_contains_master_panic() {
+        let pool = Pool::new(1);
+        let err = pool
+            .try_run(|_| panic!("inline"))
+            .expect_err("inline panic must be contained");
+        assert_eq!(err.threads(), vec![0]);
+        pool.try_run(|_| {}).expect("pool survives");
+    }
+
+    #[test]
+    fn contain_catches_nested_region_panic() {
+        let pool = Pool::new(2);
+        let err = contain(|| {
+            pool.run(|tid| {
+                if tid == 1 {
+                    panic!("kernel fault");
+                }
+            });
+        })
+        .expect_err("region panic must be contained");
+        assert!(
+            err.first_message().contains("pool worker"),
+            "summary message expected, got: {}",
+            err.first_message()
+        );
+        // Both the containment wrapper and the pool remain usable.
+        contain(|| pool.run(|_| {})).expect("clean region after containment");
+    }
+
+    #[test]
+    fn contain_passes_through_result() {
+        assert_eq!(contain(|| 41 + 1).unwrap(), 42);
     }
 
     #[test]

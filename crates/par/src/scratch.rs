@@ -2,7 +2,7 @@
 
 use std::cell::UnsafeCell;
 
-use crossbeam::utils::CachePadded;
+use crate::padded::CachePadded;
 
 /// One value of `T` per team thread, each on its own cache line.
 ///

@@ -1,0 +1,319 @@
+//! In-repo deterministic random number generation.
+//!
+//! The workspace builds fully offline, so the `rand`/`rand_chacha` crates
+//! are replaced by two tiny, well-known generators:
+//!
+//! * [`SplitMix64`] — the seeding/stream-splitting generator from Steele,
+//!   Lea & Flood ("Fast splittable pseudorandom number generators",
+//!   OOPSLA'14). One multiply-xor-shift chain per output; used to expand a
+//!   single `u64` seed into independent state words.
+//! * [`Pcg32`] — the PCG-XSH-RR 64/32 generator (O'Neill, 2014), the
+//!   workhorse stream used by every synthetic instance generator and
+//!   ordering shuffle.
+//!
+//! Determinism contract: the same `(parameters, seed)` pair yields the
+//! identical byte sequence on every platform, build, and run — the same
+//! guarantee the generators previously got from ChaCha8. The streams
+//! *differ* from the ChaCha8 streams, so synthetic instances changed once,
+//! at the PR that introduced this crate, and are stable from then on.
+//!
+//! ```
+//! use rng::Pcg32;
+//! let mut a = Pcg32::seed_from_u64(42);
+//! let mut b = Pcg32::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let i = a.gen_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny splittable generator used for seeding.
+///
+/// Every call advances an internal counter by the golden-ratio increment
+/// and scrambles it; distinct seeds give uncorrelated sequences, which is
+/// exactly what seeding a larger-state generator needs.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Convenience: one SplitMix64 scramble of a single value (stateless).
+///
+/// Useful for deriving per-case or per-thread seeds from a base seed
+/// without constructing a generator.
+pub fn split_mix64(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// PCG-XSH-RR 64/32: 64-bit LCG state, 32-bit permuted output.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    /// Stream selector; must be odd.
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator from a `u64` seed via SplitMix64 expansion
+    /// (state and stream are derived independently).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let initstate = sm.next_u64();
+        let initseq = sm.next_u64();
+        let mut pcg = Self {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        // Standard PCG initialization: advance once, add the seed, advance.
+        pcg.state = pcg.state.wrapping_mul(PCG_MULT).wrapping_add(pcg.inc);
+        pcg.state = pcg.state.wrapping_add(initstate);
+        pcg.next_u32();
+        pcg
+    }
+
+    /// Returns the next 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64-bit output (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform `u64` below `bound` (exclusive) via multiply-shift with
+    /// rejection — unbiased for every bound.
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 with zero bound");
+        // Lemire's multiply-shift rejection method.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a range — `rng.gen_range(0..n)`,
+    /// `rng.gen_range(0..=i)`, `rng.gen_range(-0.05..0.05)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.gen_range(0..=i);
+            data.swap(i, j);
+        }
+    }
+}
+
+/// A range that [`Pcg32::gen_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from(self, rng: &mut Pcg32) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_from(self, rng: &mut Pcg32) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from(self, rng: &mut Pcg32) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo + rng.bounded_u64(span + 1) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u32, u64);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut Pcg32) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the canonical C
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn pcg_streams_deterministic_and_seed_sensitive() {
+        let a: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(7);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(7);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = Pcg32::seed_from_u64(8);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounded_values_stay_in_bounds() {
+        let mut r = Pcg32::seed_from_u64(99);
+        for bound in [1u64, 2, 3, 7, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.bounded_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn small_bounds_hit_every_value() {
+        let mut r = Pcg32::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_range_reaches_endpoints() {
+        let mut r = Pcg32::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            match r.gen_range(0..=3usize) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                1 | 2 => {}
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_spread() {
+        let mut r = Pcg32::seed_from_u64(5);
+        let vals: Vec<f64> = (0..1000).map(|_| r.gen_f64()).collect();
+        assert!(vals.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut r = Pcg32::seed_from_u64(17);
+        for _ in 0..500 {
+            let x = r.gen_range(-0.05..0.05);
+            assert!((-0.05..0.05).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_roughly_honored() {
+        let mut r = Pcg32::seed_from_u64(23);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.1)));
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        Pcg32::seed_from_u64(1).shuffle(&mut a);
+        Pcg32::seed_from_u64(1).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        let mut c: Vec<u32> = (0..100).collect();
+        Pcg32::seed_from_u64(2).shuffle(&mut c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Pcg32::seed_from_u64(0).gen_range(5..5usize);
+    }
+
+    #[test]
+    fn split_mix64_helper_matches_generator() {
+        assert_eq!(split_mix64(42), SplitMix64::new(42).next_u64());
+    }
+}

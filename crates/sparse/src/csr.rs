@@ -48,14 +48,25 @@ impl Csr {
     /// # Panics
     /// Panics with a descriptive message if the parts are inconsistent.
     pub fn from_parts(nrows: usize, ncols: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>) -> Self {
+        Self::try_from_parts(nrows, ncols, row_ptr, col_idx).expect("invalid CSR parts")
+    }
+
+    /// Builds a CSR from raw parts, returning the first violated invariant
+    /// instead of panicking — the constructor for untrusted input paths.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+    ) -> Result<Self, String> {
         let csr = Self {
             nrows,
             ncols,
             row_ptr,
             col_idx,
         };
-        csr.validate().expect("invalid CSR parts");
-        csr
+        csr.validate()?;
+        Ok(csr)
     }
 
     /// Builds a CSR from per-row column lists. Rows are sorted and

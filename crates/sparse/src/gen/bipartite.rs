@@ -1,7 +1,6 @@
 //! Skewed bipartite (rating-matrix) generator.
 
-use rand::distributions::Distribution;
-use rand::Rng;
+use rng::Pcg32;
 
 use crate::{Coo, Csr};
 
@@ -40,7 +39,7 @@ pub fn bipartite_skewed(
 
     // Assign ranks to row ids in shuffled order.
     let mut order: Vec<usize> = (0..nrows).collect();
-    shuffle(&mut order, &mut rng);
+    rng.shuffle(&mut order);
 
     let mut sizes = vec![0usize; nrows];
     for (rank, &row) in order.iter().enumerate() {
@@ -66,15 +65,6 @@ pub fn bipartite_skewed(
     coo.into_csr()
 }
 
-/// Fisher–Yates shuffle with the workspace RNG (avoids pulling in
-/// `rand::seq` trait imports at call sites).
-fn shuffle<T>(data: &mut [T], rng: &mut impl Rng) {
-    for i in (1..data.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        data.swap(i, j);
-    }
-}
-
 /// Samples an index from a discrete cumulative distribution (used by tests
 /// and downstream crates that build custom skews).
 pub struct Cdf {
@@ -98,10 +88,9 @@ impl Cdf {
         assert!(acc > 0.0, "weights sum to zero");
         Self { cum }
     }
-}
 
-impl Distribution<usize> for Cdf {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    /// Draws one index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
         let total = *self.cum.last().unwrap();
         let x = rng.gen_range(0.0..total);
         match self

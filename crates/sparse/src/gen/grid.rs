@@ -1,7 +1,5 @@
 //! Mesh/stencil and banded generators (quasi-uniform degree families).
 
-use rand::Rng;
-
 use crate::{Coo, Csr};
 
 /// 2D grid with a `(2r+1)²−1`-point neighborhood (Moore neighborhood of

@@ -1,9 +1,10 @@
 //! Deterministic synthetic pattern generators.
 //!
 //! These stand in for the paper's UFL/SuiteSparse downloads (see DESIGN.md
-//! §4). Every generator is seeded and uses a portable ChaCha RNG, so the
-//! same `(parameters, seed)` pair yields the identical pattern on every
-//! platform and run — experiments are reproducible byte-for-byte.
+//! §4). Every generator is seeded and uses the portable in-repo PCG32
+//! stream (see the `rng` crate), so the same `(parameters, seed)` pair
+//! yields the identical pattern on every platform and run — experiments
+//! are reproducible byte-for-byte.
 //!
 //! The generators cover the structural families in the paper's test-bed:
 //!
@@ -26,10 +27,9 @@ pub use grid::{banded, grid2d, grid3d, grid3d_18pt, grid3d_jittered, grid3d_sele
 pub use random::{bipartite_uniform, erdos_renyi};
 pub use rmat::{chung_lu, rmat, RmatProbs};
 
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use rng::Pcg32;
 
 /// Creates the workspace-standard seeded RNG.
-pub(crate) fn seeded_rng(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
+pub(crate) fn seeded_rng(seed: u64) -> Pcg32 {
+    Pcg32::seed_from_u64(seed)
 }

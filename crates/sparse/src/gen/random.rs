@@ -1,7 +1,5 @@
 //! Uniform random pattern generators (tests and ablations).
 
-use rand::Rng;
-
 use crate::{Coo, Csr};
 
 /// Erdős–Rényi G(n, m): `nedges` distinct undirected edges, no self-loops,

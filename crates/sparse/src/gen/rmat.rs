@@ -5,8 +5,6 @@
 //! heavy-tailed degree distributions of web and co-authorship graphs
 //! (uk-2002, coPapersDBLP in the paper's test-bed).
 
-use rand::Rng;
-
 use crate::{Coo, Csr};
 
 /// Quadrant probabilities for the R-MAT recursion.
@@ -145,7 +143,7 @@ pub fn chung_lu(
         label.swap(i, j);
     }
 
-    let sample = |rng: &mut rand_chacha::ChaCha8Rng| -> usize {
+    let sample = |rng: &mut rng::Pcg32| -> usize {
         let x: f64 = rng.gen_range(0.0..total);
         match cum.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
             Ok(i) => i + 1,

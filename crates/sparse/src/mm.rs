@@ -234,4 +234,80 @@ mod tests {
         let src = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n";
         assert!(read_pattern(src.as_bytes()).is_err());
     }
+
+    /// All malformed inputs must come back as `MmError::Parse` — never a
+    /// panic, and never a bogus matrix.
+    fn expect_parse_error(src: &str) -> String {
+        match read_pattern(src.as_bytes()) {
+            Err(MmError::Parse(msg)) => msg,
+            Err(other) => panic!("expected Parse error, got {other:?}"),
+            Ok(m) => panic!("expected Parse error, got a {}x{} matrix", m.nrows(), m.ncols()),
+        }
+    }
+
+    #[test]
+    fn truncated_mid_entry_is_parse_error() {
+        // size line promises 3 entries, the stream ends after 2
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 1\n2 2\n",
+        );
+        assert!(msg.contains("expected 3 entries, found 2"), "{msg}");
+        // a value entry cut off before its value column
+        let msg =
+            expect_parse_error("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n");
+        assert!(msg.contains("missing value"), "{msg}");
+    }
+
+    #[test]
+    fn zero_based_index_is_parse_error() {
+        // Matrix Market is 1-based; a 0 index is a classic exporter bug
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n",
+        );
+        assert!(msg.contains("out of 1-based range"), "{msg}");
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 0\n",
+        );
+        assert!(msg.contains("out of 1-based range"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_index_is_parse_error() {
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 4\n",
+        );
+        assert!(msg.contains("out of 1-based range 2x3"), "{msg}");
+    }
+
+    #[test]
+    fn dimension_overflow_is_parse_error() {
+        // larger than any usize: the size line must fail cleanly, not wrap
+        let huge = "99999999999999999999999999999999";
+        let msg = expect_parse_error(&format!(
+            "%%MatrixMarket matrix coordinate pattern general\n{huge} 2 1\n1 1\n"
+        ));
+        assert!(msg.contains("bad row count"), "{msg}");
+        let msg = expect_parse_error(&format!(
+            "%%MatrixMarket matrix coordinate pattern general\n2 {huge} 1\n1 1\n"
+        ));
+        assert!(msg.contains("bad col count"), "{msg}");
+        let msg = expect_parse_error(&format!(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 {huge}\n1 1\n"
+        ));
+        assert!(msg.contains("bad nnz count"), "{msg}");
+    }
+
+    #[test]
+    fn array_format_is_parse_error() {
+        let msg = expect_parse_error("%%MatrixMarket matrix array real general\n2 2\n1.0\n");
+        assert!(msg.contains("unsupported format `array`"), "{msg}");
+    }
+
+    #[test]
+    fn missing_size_line_is_parse_error() {
+        let msg = expect_parse_error("%%MatrixMarket matrix coordinate pattern general\n% only\n");
+        assert!(msg.contains("missing size line"), "{msg}");
+        let msg = expect_parse_error("");
+        assert!(msg.contains("empty file"), "{msg}");
+    }
 }

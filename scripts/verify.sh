@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + tests + lints, fully offline.
+# The workspace has zero registry dependencies (see README "Hermetic
+# offline build"), so --offline must always succeed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "== cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "== cargo clippy --workspace --all-targets --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

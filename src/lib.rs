@@ -5,6 +5,8 @@
 
 pub use bgpc;
 pub use compress;
+pub use dist;
 pub use graph;
 pub use par;
+pub use rng;
 pub use sparse;
