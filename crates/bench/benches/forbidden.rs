@@ -1,0 +1,123 @@
+//! Microbenchmark: forbidden-set representations head to head.
+//!
+//! `StampSet` (one stamp word per color) against the word-packed
+//! `BitStampSet` (one `u64` bitmap word per 64 colors, per-word stamps) on
+//! the operations the coloring kernels actually issue: epoch reset +
+//! insert bursts, dense first-fit scans, and the net kernels'
+//! reverse-first-fit runs. Plain timing loops on `bench::timing` — no
+//! external harness.
+
+use bench::timing::Group;
+use bgpc::{BitStampSet, ForbiddenSet, StampSet};
+
+const SAMPLES: usize = 20;
+
+/// Builds a set with every color in `0..colors` forbidden except
+/// `colors − 1`: a first-fit from 0 must walk the whole dense prefix.
+fn dense<F: ForbiddenSet>(colors: usize) -> F {
+    let mut fb = F::with_capacity(colors);
+    fb.advance();
+    for c in 0..colors as i32 - 1 {
+        fb.insert(c);
+    }
+    fb
+}
+
+/// Dense first-fit: the pathological-but-common case late in a coloring
+/// run, when nearly every small color is taken.
+fn dense_first_fit() {
+    for &colors in &[256usize, 1024, 4096] {
+        let group = Group::new(&format!("first_fit_dense_{colors}"), SAMPLES);
+        let stamp: StampSet = dense(colors);
+        let bits: BitStampSet = dense(colors);
+        let reps = 2000usize;
+        group.bench("StampSet", || {
+            let mut acc = 0i64;
+            for _ in 0..reps {
+                acc += stamp.first_fit_from(0) as i64;
+            }
+            acc
+        });
+        group.bench("BitStampSet", || {
+            let mut acc = 0i64;
+            for _ in 0..reps {
+                acc += bits.first_fit_from(0) as i64;
+            }
+            acc
+        });
+    }
+}
+
+/// Reverse first-fit from the top of a dense interval — the inner step of
+/// the net-based kernels (Algorithm 8).
+fn dense_reverse_first_fit() {
+    for &colors in &[256usize, 1024] {
+        let group = Group::new(&format!("reverse_fit_dense_{colors}"), SAMPLES);
+        let mut stamp = StampSet::with_capacity(colors);
+        let mut bits = BitStampSet::with_capacity(colors);
+        stamp.advance();
+        bits.advance();
+        // Forbid everything except color 0, so the reverse scan walks the
+        // whole interval top-down.
+        for c in 1..colors as i32 {
+            stamp.insert(c);
+            bits.insert(c);
+        }
+        let from = colors as i32 - 1;
+        let reps = 2000usize;
+        group.bench("StampSet", || {
+            let mut acc = 0i64;
+            for _ in 0..reps {
+                acc += stamp.reverse_first_fit_from(from) as i64;
+            }
+            acc
+        });
+        group.bench("BitStampSet", || {
+            let mut acc = 0i64;
+            for _ in 0..reps {
+                acc += bits.reverse_first_fit_from(from) as i64;
+            }
+            acc
+        });
+    }
+}
+
+/// The kernels' per-vertex cycle: advance, insert a neighborhood's worth
+/// of colors, pick first-fit. Sparse sets — measures epoch-reset and
+/// insert cost rather than scan length.
+fn insert_cycle() {
+    let group = Group::new("advance_insert_fit_cycle", SAMPLES);
+    let colors = 512usize;
+    let degree = 48i32;
+    let reps = 2000usize;
+    let mut stamp = StampSet::with_capacity(colors);
+    group.bench("StampSet", move || {
+        let mut acc = 0i64;
+        for r in 0..reps as i32 {
+            stamp.advance();
+            for i in 0..degree {
+                stamp.insert((i * 7 + r) % colors as i32);
+            }
+            acc += stamp.first_fit_from(0) as i64;
+        }
+        acc
+    });
+    let mut bits = BitStampSet::with_capacity(colors);
+    group.bench("BitStampSet", move || {
+        let mut acc = 0i64;
+        for r in 0..reps as i32 {
+            bits.advance();
+            for i in 0..degree {
+                bits.insert((i * 7 + r) % colors as i32);
+            }
+            acc += bits.first_fit_from(0) as i64;
+        }
+        acc
+    });
+}
+
+fn main() {
+    dense_first_fit();
+    dense_reverse_first_fit();
+    insert_cycle();
+}

@@ -1,0 +1,373 @@
+//! End-to-end coloring benchmark: per-schedule wall times plus a
+//! forbidden-set micro comparison, emitted as `BENCH_coloring.json`.
+//!
+//! Modes (mutually exclusive, `--quick` is the `scripts/bench.sh`
+//! default):
+//!
+//! * `--smoke` — one tiny instance, one repetition; exercises the whole
+//!   pipeline in seconds (used by `scripts/verify.sh` to assert the JSON
+//!   output parses and every coloring verifies).
+//! * `--quick` — the three BGPC instances and one D2GC instance at small
+//!   scale, threads {1, 4}, 3 repetitions.
+//! * (no flag) — full mode: larger scale, threads {1, 2, 4, 8},
+//!   5 repetitions.
+//!
+//! `--out PATH` overrides the output path. Every measured coloring is
+//! verified; any invalid coloring aborts with a nonzero exit.
+
+use std::time::Instant;
+
+use bench::json::to_string_pretty;
+use bench::to_json_struct;
+use bgpc::verify::{verify_bgpc, verify_d2gc};
+use bgpc::{BitStampSet, ForbiddenSet, RunnerOpts, Schedule, StampSet};
+use graph::{BipartiteGraph, Graph, Ordering};
+use par::Pool;
+use sparse::Dataset;
+
+/// Micro comparison row: dense first-fit cost per call.
+struct MicroRecord {
+    /// Interval width (colors 0..colors−1 forbidden except the last).
+    colors: usize,
+    stamp_ns: f64,
+    bitstamp_ns: f64,
+    /// `stamp_ns / bitstamp_ns` — > 1 means the word-packed set wins.
+    speedup: f64,
+}
+to_json_struct!(MicroRecord {
+    colors,
+    stamp_ns,
+    bitstamp_ns,
+    speedup
+});
+
+/// One end-to-end schedule measurement.
+struct ScheduleRecord {
+    problem: String,
+    dataset: String,
+    schedule: String,
+    threads: usize,
+    set_impl: String,
+    /// Minimum wall time over the repetitions, milliseconds.
+    time_ms: f64,
+    num_colors: usize,
+    rounds: usize,
+    verified: bool,
+}
+to_json_struct!(ScheduleRecord {
+    problem,
+    dataset,
+    schedule,
+    threads,
+    set_impl,
+    time_ms,
+    num_colors,
+    rounds,
+    verified
+});
+
+struct BenchReport {
+    mode: String,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    micro: Vec<MicroRecord>,
+    schedules: Vec<ScheduleRecord>,
+}
+to_json_struct!(BenchReport {
+    mode,
+    scale,
+    seed,
+    reps,
+    micro,
+    schedules
+});
+
+const SEED: u64 = 20170814;
+
+fn dense<F: ForbiddenSet>(colors: usize) -> F {
+    let mut fb = F::with_capacity(colors);
+    fb.advance();
+    for c in 0..colors as i32 - 1 {
+        fb.insert(c);
+    }
+    fb
+}
+
+/// Times `reps` first-fit calls on `fb`, returning nanoseconds per call
+/// (minimum over `samples` timed batches).
+fn time_first_fit<F: ForbiddenSet>(fb: &F, reps: usize, samples: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0i64;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..reps {
+            sink += fb.first_fit_from(0) as i64;
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn micro_section(samples: usize) -> Vec<MicroRecord> {
+    let reps = 2000usize;
+    [256usize, 1024, 4096]
+        .iter()
+        .map(|&colors| {
+            let stamp: StampSet = dense(colors);
+            let bits: BitStampSet = dense(colors);
+            let stamp_ns = time_first_fit(&stamp, reps, samples);
+            let bitstamp_ns = time_first_fit(&bits, reps, samples);
+            MicroRecord {
+                colors,
+                stamp_ns,
+                bitstamp_ns,
+                speedup: stamp_ns / bitstamp_ns,
+            }
+        })
+        .collect()
+}
+
+/// Runs one schedule `reps` times with forbidden-set `F`, verifying every
+/// run; returns the record with the minimum wall time.
+#[allow(clippy::too_many_arguments)]
+fn run_bgpc<F: ForbiddenSet>(
+    g: &BipartiteGraph,
+    order: &[u32],
+    dataset: &str,
+    schedule: &Schedule,
+    pool: &Pool,
+    threads: usize,
+    set_impl: &str,
+    reps: usize,
+) -> ScheduleRecord {
+    let mut best_ms = f64::INFINITY;
+    let mut num_colors = 0;
+    let mut rounds = 0;
+    for _ in 0..reps {
+        let r = bgpc::color_bgpc_with_set::<F>(g, order, schedule, pool, RunnerOpts::default());
+        if let Err(e) = verify_bgpc(g, &r.colors) {
+            eprintln!(
+                "FATAL: invalid BGPC coloring ({dataset}, {}, {threads}t, {set_impl}): {e}",
+                schedule.name()
+            );
+            std::process::exit(1);
+        }
+        let ms = r.total_time.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            num_colors = r.num_colors;
+            rounds = r.rounds();
+        }
+    }
+    ScheduleRecord {
+        problem: "BGPC".into(),
+        dataset: dataset.into(),
+        schedule: schedule.name(),
+        threads,
+        set_impl: set_impl.into(),
+        time_ms: best_ms,
+        num_colors,
+        rounds,
+        verified: true,
+    }
+}
+
+fn run_d2gc(
+    g: &Graph,
+    order: &[u32],
+    dataset: &str,
+    schedule: &Schedule,
+    pool: &Pool,
+    threads: usize,
+    reps: usize,
+) -> ScheduleRecord {
+    let mut best_ms = f64::INFINITY;
+    let mut num_colors = 0;
+    let mut rounds = 0;
+    for _ in 0..reps {
+        let r = bgpc::d2gc::color_d2gc(g, order, schedule, pool);
+        if let Err(e) = verify_d2gc(g, &r.colors) {
+            eprintln!(
+                "FATAL: invalid D2GC coloring ({dataset}, {}, {threads}t): {e}",
+                schedule.name()
+            );
+            std::process::exit(1);
+        }
+        let ms = r.total_time.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            num_colors = r.num_colors;
+            rounds = r.rounds();
+        }
+    }
+    ScheduleRecord {
+        problem: "D2GC".into(),
+        dataset: dataset.into(),
+        schedule: schedule.name(),
+        threads,
+        set_impl: "BitStampSet".into(),
+        time_ms: best_ms,
+        num_colors,
+        rounds,
+        verified: true,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "full";
+    let mut out_path = String::from("BENCH_coloring.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                mode = "smoke";
+                i += 1;
+            }
+            "--quick" => {
+                mode = "quick";
+                i += 1;
+            }
+            "--out" => {
+                out_path = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value after --out");
+                        std::process::exit(2);
+                    })
+                    .clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (expected --smoke, --quick, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (scale, reps, threads, bgpc_sets, d2gc_sets, micro_samples): (
+        f64,
+        usize,
+        Vec<usize>,
+        Vec<Dataset>,
+        Vec<Dataset>,
+        usize,
+    ) = match mode {
+        "smoke" => (
+            0.002,
+            1,
+            vec![1, 2],
+            vec![Dataset::CoPapersDblp],
+            vec![Dataset::Nlpkkt120],
+            3,
+        ),
+        "quick" => (
+            0.004,
+            3,
+            vec![1, 4],
+            vec![
+                Dataset::Movielens20M,
+                Dataset::CoPapersDblp,
+                Dataset::AfShell10,
+                Dataset::Bone010,
+            ],
+            vec![Dataset::Nlpkkt120],
+            10,
+        ),
+        _ => (
+            0.01,
+            5,
+            vec![1, 2, 4, 8],
+            vec![
+                Dataset::Movielens20M,
+                Dataset::CoPapersDblp,
+                Dataset::AfShell10,
+                Dataset::Bone010,
+            ],
+            vec![Dataset::Nlpkkt120, Dataset::Channel],
+            20,
+        ),
+    };
+
+    eprintln!("mode {mode}: scale {scale}, reps {reps}, threads {threads:?}");
+    let micro = micro_section(micro_samples);
+    for m in &micro {
+        eprintln!(
+            "  micro first_fit dense {} colors: StampSet {:.1} ns, BitStampSet {:.1} ns \
+             ({:.2}x)",
+            m.colors, m.stamp_ns, m.bitstamp_ns, m.speedup
+        );
+    }
+
+    let mut schedules = Vec::new();
+    for dataset in &bgpc_sets {
+        let inst = dataset.build(scale, SEED);
+        let g = BipartiteGraph::from_matrix(&inst.matrix);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        for &t in &threads {
+            let pool = Pool::new(t);
+            for schedule in Schedule::all() {
+                schedules.push(run_bgpc::<BitStampSet>(
+                    &g,
+                    &order,
+                    dataset.name(),
+                    &schedule,
+                    &pool,
+                    t,
+                    "BitStampSet",
+                    reps,
+                ));
+            }
+            // Representation ablation on the two headline schedules: the
+            // same driver with the per-color StampSet.
+            for schedule in [Schedule::v_v(), Schedule::n1_n2()] {
+                schedules.push(run_bgpc::<StampSet>(
+                    &g,
+                    &order,
+                    dataset.name(),
+                    &schedule,
+                    &pool,
+                    t,
+                    "StampSet",
+                    reps,
+                ));
+            }
+        }
+    }
+    for dataset in &d2gc_sets {
+        let inst = dataset.build(scale, SEED);
+        let g = Graph::from_symmetric_matrix(&inst.matrix);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        for &t in &threads {
+            let pool = Pool::new(t);
+            for schedule in Schedule::d2gc_set() {
+                schedules.push(run_d2gc(&g, &order, dataset.name(), &schedule, &pool, t, reps));
+            }
+        }
+    }
+
+    for s in &schedules {
+        eprintln!(
+            "  {} {} {} {}t [{}]: {:.3} ms, {} colors, {} rounds",
+            s.problem, s.dataset, s.schedule, s.threads, s.set_impl, s.time_ms, s.num_colors,
+            s.rounds
+        );
+    }
+
+    let report = BenchReport {
+        mode: mode.into(),
+        scale,
+        seed: SEED,
+        reps,
+        micro,
+        schedules,
+    };
+    let json = to_string_pretty(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("FATAL: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path} ({} bytes)", json.len());
+}

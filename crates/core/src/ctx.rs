@@ -1,7 +1,7 @@
 //! Per-thread workspace shared by all phases.
 
 use crate::balance::BalancerState;
-use crate::StampSet;
+use crate::forbidden::{BitStampSet, ForbiddenSet};
 
 /// One team thread's reusable buffers.
 ///
@@ -9,26 +9,35 @@ use crate::StampSet;
 /// (the paper's "allocated only once … never actually emptied or reset"
 /// implementation note): the forbidden set is stamp-marked, the queues are
 /// cleared by resetting their length.
-pub struct ThreadCtx {
-    /// Forbidden-color stamp set `F`.
-    pub fb: StampSet,
+///
+/// The forbidden-set representation is a type parameter so kernels can be
+/// benchmarked against both [`crate::StampSet`] and the word-packed
+/// [`BitStampSet`]; production paths use the default ([`BitStampSet`]).
+pub struct ThreadCtx<F: ForbiddenSet = BitStampSet> {
+    /// Forbidden-color set `F`.
+    pub fb: F,
     /// B1/B2 cursors (`colmax`, `colnext`).
     pub balancer: BalancerState,
     /// Lazy (64D) conflict queue for this thread.
     pub local_queue: Vec<u32>,
     /// `W_local` — the two-pass net coloring's to-be-colored buffer.
     pub wlocal: Vec<u32>,
+    /// Staging buffer for the eager shared queue: conflicts batch here and
+    /// flush with one `fetch_add` per [`crate::workqueue::STAGE_CAPACITY`]
+    /// entries instead of one per conflict.
+    pub stage: Vec<u32>,
 }
 
-impl ThreadCtx {
+impl<F: ForbiddenSet> ThreadCtx<F> {
     /// Creates a context sized for colors up to `color_capacity` (the
-    /// stamp set grows on demand if exceeded).
+    /// forbidden set grows on demand if exceeded).
     pub fn new(color_capacity: usize) -> Self {
         Self {
-            fb: StampSet::with_capacity(color_capacity.max(16)),
+            fb: F::with_capacity(color_capacity.max(16)),
             balancer: BalancerState::default(),
             local_queue: Vec::new(),
             wlocal: Vec::new(),
+            stage: Vec::with_capacity(crate::workqueue::STAGE_CAPACITY),
         }
     }
 }
@@ -36,15 +45,23 @@ impl ThreadCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StampSet;
 
     #[test]
-    fn construction_sizes_stamp_set() {
-        let ctx = ThreadCtx::new(100);
+    fn construction_sizes_forbidden_set() {
+        let ctx: ThreadCtx = ThreadCtx::new(100);
         assert!(ctx.fb.capacity() >= 100);
-        let tiny = ThreadCtx::new(0);
+        let tiny: ThreadCtx = ThreadCtx::new(0);
         assert!(tiny.fb.capacity() >= 16);
         assert_eq!(tiny.balancer.colmax, 0);
         assert!(tiny.local_queue.is_empty());
         assert!(tiny.wlocal.is_empty());
+        assert!(tiny.stage.is_empty());
+    }
+
+    #[test]
+    fn generic_over_set_representation() {
+        let ctx: ThreadCtx<StampSet> = ThreadCtx::new(32);
+        assert!(ctx.fb.capacity() >= 32);
     }
 }

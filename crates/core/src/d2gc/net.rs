@@ -8,6 +8,7 @@ use graph::Graph;
 use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
+use crate::forbidden::ForbiddenSet;
 use crate::{Balance, Color, Colors, UNCOLORED};
 
 const NET_CHUNK: usize = 16;
@@ -17,12 +18,12 @@ const NET_CHUNK: usize = 16;
 /// The reverse first-fit cursor starts at `|nbor(v)|` (not
 /// `|nbor(v)| − 1`): the thread may color the middle vertex too, needing
 /// up to `|nbor(v)| + 1` colors including color 0.
-pub fn color_workqueue_net(
+pub fn color_workqueue_net<F: ForbiddenSet>(
     g: &Graph,
     colors: &Colors,
     pool: &Pool,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
 ) {
     pool.for_dynamic(g.n_vertices(), NET_CHUNK, |tid, range| {
         par::faults::fire("d2gc.color", tid);
@@ -47,11 +48,14 @@ pub fn color_workqueue_net(
                 if ctx.wlocal.is_empty() {
                     continue;
                 }
+                // Take the local queue so the second pass iterates a slice
+                // (no per-element index bound check) while `ctx.fb` stays
+                // mutably borrowable.
+                let wlocal = std::mem::take(&mut ctx.wlocal);
                 match balance {
                     Balance::Unbalanced => {
                         let mut col: Color = g.degree(v) as Color;
-                        for i in 0..ctx.wlocal.len() {
-                            let u = ctx.wlocal[i];
+                        for &u in &wlocal {
                             col = ctx.fb.reverse_first_fit_from(col);
                             debug_assert!(col >= 0, "D2GC reverse fit underflow");
                             colors.set(u as usize, col);
@@ -59,14 +63,14 @@ pub fn color_workqueue_net(
                         }
                     }
                     Balance::B1 | Balance::B2 => {
-                        for i in 0..ctx.wlocal.len() {
-                            let u = ctx.wlocal[i];
+                        for &u in &wlocal {
                             let col = balance.pick(v as u32, &ctx.fb, &mut ctx.balancer);
                             colors.set(u as usize, col);
                             ctx.fb.insert(col);
                         }
                     }
                 }
+                ctx.wlocal = wlocal;
             }
         });
     });
@@ -77,11 +81,11 @@ pub fn color_workqueue_net(
 /// The middle vertex's color is seeded into `F` first, so a neighbor
 /// duplicating it is uncolored while `v` itself always survives its own
 /// scan (it may still lose in a neighbor's scan).
-pub fn remove_conflicts_net(
+pub fn remove_conflicts_net<F: ForbiddenSet>(
     g: &Graph,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
 ) {
     pool.for_dynamic(g.n_vertices(), NET_CHUNK, |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
@@ -109,13 +113,13 @@ pub fn remove_conflicts_net(
 
 /// Rebuilds the explicit work queue after net-based conflict removal
 /// (uncolored vertices in `order`'s processing order).
-pub fn collect_uncolored(
+pub fn collect_uncolored<F: ForbiddenSet>(
     order: &[u32],
     colors: &Colors,
     pool: &Pool,
-    scratch: &mut ThreadScratch<ThreadCtx>,
+    scratch: &mut ThreadScratch<ThreadCtx<F>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
+    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
     pool.for_static(order.len(), |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {

@@ -8,6 +8,7 @@ use par::{Pool, ThreadScratch};
 use crate::ctx::ThreadCtx;
 use crate::d2gc::{net, vertex};
 use crate::error::{validate_order, ColoringError};
+use crate::forbidden::ForbiddenSet;
 use crate::metrics::{
     count_distinct_colors, ColoringResult, DegradeReason, FailedPhase, IterationMetrics,
 };
@@ -39,8 +40,34 @@ pub fn try_color_d2gc(
     Ok(color_d2gc(g, order, schedule, pool))
 }
 
-/// [`color_d2gc`] with explicit [`RunnerOpts`].
+/// Degree above which the runner prefers the per-color stamp array, for
+/// the same insert-dominance reason as
+/// [`crate::runner::color_bgpc_with_opts`] (D2GC's neighborhoods are
+/// bounded by the maximum degree rather than the maximum net size).
+const DENSE_DEGREE_THRESHOLD: usize = 128;
+
+/// [`color_d2gc`] with explicit [`RunnerOpts`]. Picks the forbidden-set
+/// representation per instance exactly like
+/// [`crate::color_bgpc_with_opts`]; use [`color_d2gc_with_set`] to force
+/// one.
 pub fn color_d2gc_with_opts(
+    g: &Graph,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+    opts: RunnerOpts,
+) -> ColoringResult {
+    if g.max_degree() > DENSE_DEGREE_THRESHOLD {
+        color_d2gc_with_set::<crate::StampSet>(g, order, schedule, pool, opts)
+    } else {
+        color_d2gc_with_set::<crate::BitStampSet>(g, order, schedule, pool, opts)
+    }
+}
+
+/// [`color_d2gc`] generic over the forbidden-set representation `F`
+/// (benchmark harness entry point, mirroring
+/// [`crate::color_bgpc_with_set`]).
+pub fn color_d2gc_with_set<F: ForbiddenSet>(
     g: &Graph,
     order: &[u32],
     schedule: &Schedule,
@@ -49,9 +76,9 @@ pub fn color_d2gc_with_opts(
 ) -> ColoringResult {
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n);
-    let colors = Colors::new(n);
-    let mut scratch =
+    let mut scratch: ThreadScratch<ThreadCtx<F>> =
         ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 64));
+    let colors = Colors::new(n);
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
 
     let mut w: Vec<u32> = order.to_vec();
@@ -228,7 +255,7 @@ fn repair_sequential(g: &Graph, order: &[u32], colors: &Colors) {
 }
 
 fn sequential_fallback(g: &Graph, w: &[u32], colors: &Colors) {
-    let mut fb = crate::StampSet::with_capacity(g.max_degree() + 64);
+    let mut fb = crate::BitStampSet::with_capacity(g.max_degree() + 64);
     for &wv in w {
         let wu = wv as usize;
         fb.advance();

@@ -8,19 +8,20 @@ use graph::Graph;
 use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
+use crate::forbidden::ForbiddenSet;
 use crate::workqueue::{merge_local_queues, SharedQueue};
 use crate::{Balance, Colors, UNCOLORED};
 
 /// Optimistic coloring of the work queue, vertex-based: forbid the colors
 /// of everything within distance 2 of `w`, then pick with `balance`.
-pub fn color_workqueue_vertex(
+pub fn color_workqueue_vertex<F: ForbiddenSet>(
     g: &Graph,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
 ) {
     pool.for_dynamic(w.len(), chunk, |tid, range| {
         par::faults::fire("d2gc.color", tid);
@@ -51,16 +52,16 @@ pub fn color_workqueue_vertex(
 
 /// Vertex-based conflict detection: `w` loses (is re-queued) if any vertex
 /// within distance 2 carries the same color and has a smaller id.
-pub fn remove_conflicts_vertex(
+pub fn remove_conflicts_vertex<F: ForbiddenSet>(
     g: &Graph,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
     eager: Option<&SharedQueue>,
-    scratch: &mut ThreadScratch<ThreadCtx>,
+    scratch: &mut ThreadScratch<ThreadCtx<F>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
+    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
     pool.for_dynamic(w.len(), chunk, |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
@@ -83,7 +84,7 @@ pub fn remove_conflicts_vertex(
                 }
                 if conflicted {
                     match eager {
-                        Some(q) => q.push(wv),
+                        Some(q) => q.push_staged(&mut ctx.stage, wv),
                         None => ctx.local_queue.push(wv),
                     }
                 }
@@ -91,7 +92,14 @@ pub fn remove_conflicts_vertex(
         });
     });
     match eager {
-        Some(q) => q.drain_to_vec(),
+        Some(q) => {
+            // Flush each thread's residual stage (outside the region — the
+            // join ordered all staged writes before this point).
+            for ctx in scratch.iter_mut() {
+                q.flush(&mut ctx.stage);
+            }
+            q.drain_to_vec()
+        }
         None => merge_local_queues(scratch),
     }
 }
@@ -118,7 +126,8 @@ mod tests {
 
     fn run_until_valid(g: &Graph, pool: &Pool) -> Vec<i32> {
         let colors = Colors::new(g.n_vertices());
-        let mut sc = ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(16));
+        let mut sc: ThreadScratch<ThreadCtx> =
+            ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(16));
         let mut w: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let mut rounds = 0;
         while !w.is_empty() {
@@ -154,7 +163,8 @@ mod tests {
         let pool = Pool::new(3);
         let colors = Colors::new(g.n_vertices());
         let shared = SharedQueue::new(g.n_vertices());
-        let mut sc = ThreadScratch::new(3, |_| ThreadCtx::new(64));
+        let mut sc: ThreadScratch<ThreadCtx> =
+            ThreadScratch::new(3, |_| ThreadCtx::new(64));
         let mut w: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let mut rounds = 0;
         while !w.is_empty() {

@@ -17,12 +17,12 @@ use graph::Graph;
 use par::{Pool, ThreadScratch};
 
 use crate::metrics::count_distinct_colors;
-use crate::{Balance, Color, Colors, StampSet, UNCOLORED};
+use crate::{Balance, BitStampSet, Color, Colors, UNCOLORED};
 
 /// Per-thread workspace for distance-k traversals.
 struct DkCtx {
-    fb: StampSet,
-    visited: StampSet,
+    fb: BitStampSet,
+    visited: BitStampSet,
     frontier: Vec<u32>,
     next_frontier: Vec<u32>,
     local_queue: Vec<u32>,
@@ -32,8 +32,8 @@ struct DkCtx {
 impl DkCtx {
     fn new(color_capacity: usize, n: usize) -> Self {
         Self {
-            fb: StampSet::with_capacity(color_capacity.max(16)),
-            visited: StampSet::with_capacity(n.max(16)),
+            fb: BitStampSet::with_capacity(color_capacity.max(16)),
+            visited: BitStampSet::with_capacity(n.max(16)),
             frontier: Vec::new(),
             next_frontier: Vec::new(),
             local_queue: Vec::new(),
@@ -50,8 +50,10 @@ impl DkCtx {
         self.frontier.push(start);
         for _depth in 0..k {
             self.next_frontier.clear();
-            for fi in 0..self.frontier.len() {
-                let u = self.frontier[fi];
+            // Take the frontier so the scan iterates a slice (no per-element
+            // index bound check) while `visited` stays mutably borrowable.
+            let frontier = std::mem::take(&mut self.frontier);
+            for &u in &frontier {
                 for &v in g.nbor(u as usize) {
                     if !self.visited.contains(v as Color) {
                         self.visited.insert(v as Color);
@@ -60,6 +62,7 @@ impl DkCtx {
                     }
                 }
             }
+            self.frontier = frontier;
             std::mem::swap(&mut self.frontier, &mut self.next_frontier);
             if self.frontier.is_empty() {
                 break;

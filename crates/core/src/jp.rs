@@ -48,7 +48,8 @@ pub struct JpResult {
 pub fn color_bgpc_jp(g: &BipartiteGraph, pool: &Pool, seed: u64) -> JpResult {
     let n = g.n_vertices();
     let colors = Colors::new(n);
-    let scratch = ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_net_size() + 16));
+    let scratch: ThreadScratch<ThreadCtx> =
+        ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_net_size() + 16));
     let mut active: Vec<u32> = (0..n as u32).collect();
     let mut rounds = 0usize;
     while !active.is_empty() {
@@ -120,7 +121,8 @@ pub fn color_bgpc_jp(g: &BipartiteGraph, pool: &Pool, seed: u64) -> JpResult {
 pub fn color_d2gc_jp(g: &Graph, pool: &Pool, seed: u64) -> JpResult {
     let n = g.n_vertices();
     let colors = Colors::new(n);
-    let scratch = ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 16));
+    let scratch: ThreadScratch<ThreadCtx> =
+        ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 16));
     let mut active: Vec<u32> = (0..n as u32).collect();
     let mut rounds = 0usize;
     while !active.is_empty() {

@@ -70,7 +70,9 @@ pub mod workqueue;
 pub use balance::Balance;
 pub use color::{Color, Colors, UNCOLORED};
 pub use error::ColoringError;
-pub use forbidden::StampSet;
+pub use forbidden::{BitStampSet, ForbiddenSet, StampSet};
 pub use metrics::{ColoringResult, DegradeReason, FailedPhase, IterationMetrics};
-pub use runner::{color_bgpc, color_bgpc_with_opts, try_color_bgpc, RunnerOpts};
+pub use runner::{
+    color_bgpc, color_bgpc_with_opts, color_bgpc_with_set, try_color_bgpc, RunnerOpts,
+};
 pub use schedule::{PhaseKind, Schedule};

@@ -12,6 +12,7 @@ use graph::BipartiteGraph;
 use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
+use crate::forbidden::ForbiddenSet;
 use crate::{Balance, Color, Colors, UNCOLORED};
 
 /// Dynamic chunk used for net-parallel loops. Nets vary in size far more
@@ -45,13 +46,13 @@ pub enum NetColoringVariant {
 ///
 /// `balance` applies the B1/B2 start-color policies to the net's local
 /// color run (the paper: "the net-based variants are also similar").
-pub fn color_workqueue_net(
+pub fn color_workqueue_net<F: ForbiddenSet>(
     g: &BipartiteGraph,
     colors: &Colors,
     pool: &Pool,
     variant: NetColoringVariant,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
 ) {
     match variant {
         NetColoringVariant::SinglePassFirstFit => {
@@ -68,11 +69,11 @@ pub fn color_workqueue_net(
 
 /// Algorithm 6 (and its reverse-fit variant): one pass over each pin list,
 /// recoloring on the spot.
-fn color_net_single_pass(
+fn color_net_single_pass<F: ForbiddenSet>(
     g: &BipartiteGraph,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
     reverse: bool,
 ) {
     pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
@@ -109,11 +110,11 @@ fn color_net_single_pass(
 /// Algorithm 8: mark forbidden colors and collect `W_local` in a first
 /// pass, then color `W_local` with reverse first-fit (or the B1/B2
 /// adaptation) in a second pass.
-fn color_net_two_pass(
+fn color_net_two_pass<F: ForbiddenSet>(
     g: &BipartiteGraph,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
     balance: Balance,
 ) {
     pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
@@ -133,6 +134,10 @@ fn color_net_two_pass(
                 if ctx.wlocal.is_empty() {
                     continue;
                 }
+                // Take the local queue so the second pass iterates a slice
+                // (no per-element index bound check) while `ctx.fb` stays
+                // mutably borrowable.
+                let wlocal = std::mem::take(&mut ctx.wlocal);
                 match balance {
                     Balance::Unbalanced => {
                         // Reverse first-fit from |vtxs(v)| − 1. Lemma 1:
@@ -140,8 +145,7 @@ fn color_net_two_pass(
                         // skips at most |vtxs(v)| − |W_local| forbidden
                         // in-range colors and assigns |W_local| colors.
                         let mut col: Color = g.net_size(v) as Color - 1;
-                        for i in 0..ctx.wlocal.len() {
-                            let u = ctx.wlocal[i];
+                        for &u in &wlocal {
                             col = ctx.fb.reverse_first_fit_from(col);
                             debug_assert!(col >= 0, "Lemma 1 violated");
                             colors.set(u as usize, col);
@@ -153,14 +157,14 @@ fn color_net_two_pass(
                         // color with the thread's balancing cursors, and
                         // forbid it so the run stays distinct within the
                         // net.
-                        for i in 0..ctx.wlocal.len() {
-                            let u = ctx.wlocal[i];
+                        for &u in &wlocal {
                             let col = balance.pick(v as u32, &ctx.fb, &mut ctx.balancer);
                             colors.set(u as usize, col);
                             ctx.fb.insert(col);
                         }
                     }
                 }
+                ctx.wlocal = wlocal;
             }
         });
     });
@@ -172,11 +176,11 @@ fn color_net_two_pass(
 /// later pins with the same color are uncolored (`c[u] ← −1`). Detects all
 /// conflicts in `O(|V| + |E|)` but "may remove more colorings than
 /// required" — the optimism the paper accepts.
-pub fn remove_conflicts_net(
+pub fn remove_conflicts_net<F: ForbiddenSet>(
     g: &BipartiteGraph,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
 ) {
     pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
@@ -203,13 +207,13 @@ pub fn remove_conflicts_net(
 ///
 /// Static partitioning with per-thread buffers merged in thread order keeps
 /// the result deterministic for a fixed coloring state.
-pub fn collect_uncolored(
+pub fn collect_uncolored<F: ForbiddenSet>(
     order: &[u32],
     colors: &Colors,
     pool: &Pool,
-    scratch: &mut ThreadScratch<ThreadCtx>,
+    scratch: &mut ThreadScratch<ThreadCtx<F>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
+    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
     pool.for_static(order.len(), |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
         scratch_ref.with(tid, |ctx| {

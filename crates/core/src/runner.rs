@@ -7,6 +7,7 @@ use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
 use crate::error::{validate_order, ColoringError};
+use crate::forbidden::ForbiddenSet;
 use crate::metrics::{
     count_distinct_colors, ColoringResult, DegradeReason, FailedPhase, IterationMetrics,
 };
@@ -69,8 +70,38 @@ pub fn try_color_bgpc(
     Ok(color_bgpc(g, order, schedule, pool))
 }
 
-/// [`color_bgpc`] with explicit [`RunnerOpts`].
+/// Net size above which the runner prefers the per-color stamp array
+/// over the word-packed bitmap. The greedy bound caps every chosen color
+/// by the distance-2 degree, so a vertex's first-fit scan can never probe
+/// more colors than its kernels inserted — on giant-net instances the
+/// per-edge insert traffic dwarfs any scan savings, and the stamp array's
+/// single-store insert wins end to end (see `BENCH_coloring.json`, which
+/// records both representations per schedule).
+const DENSE_NET_THRESHOLD: usize = 128;
+
+/// [`color_bgpc`] with explicit [`RunnerOpts`]. Picks the forbidden-set
+/// representation per instance: the word-packed [`crate::BitStampSet`]
+/// by default, the per-color [`crate::StampSet`] when the largest net
+/// exceeds [`DENSE_NET_THRESHOLD`] (insert-dominated regime). Use
+/// [`color_bgpc_with_set`] to force a representation.
 pub fn color_bgpc_with_opts(
+    g: &BipartiteGraph,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+    opts: RunnerOpts,
+) -> ColoringResult {
+    if g.max_net_size() > DENSE_NET_THRESHOLD {
+        color_bgpc_with_set::<crate::StampSet>(g, order, schedule, pool, opts)
+    } else {
+        color_bgpc_with_set::<crate::BitStampSet>(g, order, schedule, pool, opts)
+    }
+}
+
+/// [`color_bgpc`] generic over the forbidden-set representation `F` —
+/// the benchmark harness runs the same driver with [`crate::StampSet`]
+/// and [`crate::BitStampSet`] to measure the representation in isolation.
+pub fn color_bgpc_with_set<F: ForbiddenSet>(
     g: &BipartiteGraph,
     order: &[u32],
     schedule: &Schedule,
@@ -80,7 +111,7 @@ pub fn color_bgpc_with_opts(
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n, "order must cover every vertex");
     let colors = Colors::new(n);
-    let mut scratch = ThreadScratch::new(pool.threads(), |_| {
+    let mut scratch: ThreadScratch<ThreadCtx<F>> = ThreadScratch::new(pool.threads(), |_| {
         ThreadCtx::new(g.max_net_size() + 64)
     });
     // Eager shared queue, only allocated when the schedule needs it.
@@ -229,7 +260,7 @@ pub fn color_bgpc_with_opts(
 /// Colors `w` sequentially with first-fit against the *current* state —
 /// conflict-free by construction.
 fn sequential_fallback(g: &BipartiteGraph, w: &[u32], colors: &Colors) {
-    let mut fb = crate::StampSet::with_capacity(g.max_net_size() + 64);
+    let mut fb = crate::BitStampSet::with_capacity(g.max_net_size() + 64);
     for &wv in w {
         let wu = wv as usize;
         fb.advance();

@@ -6,14 +6,32 @@
 
 use graph::{BipartiteGraph, Graph};
 
+use crate::forbidden::ForbiddenSet;
 use crate::metrics::count_distinct_colors;
-use crate::{Color, StampSet, UNCOLORED};
+use crate::{BitStampSet, Color, StampSet, UNCOLORED};
+
+/// Net-size/degree cutoff for the forbidden-set representation, matching
+/// the parallel runners: giant neighborhoods are insert-dominated, where
+/// the stamp array's single-store insert beats the bitmap.
+const DENSE_THRESHOLD: usize = 128;
 
 /// Sequential first-fit BGPC over `order`. Returns the coloring and the
 /// number of distinct colors.
 pub fn color_bgpc_seq(g: &BipartiteGraph, order: &[u32]) -> (Vec<Color>, usize) {
+    if g.max_net_size() > DENSE_THRESHOLD {
+        color_bgpc_seq_with_set::<StampSet>(g, order)
+    } else {
+        color_bgpc_seq_with_set::<BitStampSet>(g, order)
+    }
+}
+
+/// [`color_bgpc_seq`] generic over the forbidden-set representation.
+pub fn color_bgpc_seq_with_set<F: ForbiddenSet>(
+    g: &BipartiteGraph,
+    order: &[u32],
+) -> (Vec<Color>, usize) {
     let mut colors = vec![UNCOLORED; g.n_vertices()];
-    let mut fb = StampSet::with_capacity(g.max_net_size().max(16));
+    let mut fb = F::with_capacity(g.max_net_size().max(16));
     for &w in order {
         let wu = w as usize;
         fb.advance();
@@ -35,8 +53,17 @@ pub fn color_bgpc_seq(g: &BipartiteGraph, order: &[u32]) -> (Vec<Color>, usize) 
 
 /// Sequential first-fit D2GC over `order`.
 pub fn color_d2gc_seq(g: &Graph, order: &[u32]) -> (Vec<Color>, usize) {
+    if g.max_degree() > DENSE_THRESHOLD {
+        color_d2gc_seq_with_set::<StampSet>(g, order)
+    } else {
+        color_d2gc_seq_with_set::<BitStampSet>(g, order)
+    }
+}
+
+/// [`color_d2gc_seq`] generic over the forbidden-set representation.
+pub fn color_d2gc_seq_with_set<F: ForbiddenSet>(g: &Graph, order: &[u32]) -> (Vec<Color>, usize) {
     let mut colors = vec![UNCOLORED; g.n_vertices()];
-    let mut fb = StampSet::with_capacity(g.max_degree() + 16);
+    let mut fb = F::with_capacity(g.max_degree() + 16);
     for &w in order {
         let wu = w as usize;
         fb.advance();

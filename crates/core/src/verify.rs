@@ -7,7 +7,7 @@
 
 use graph::{BipartiteGraph, Graph};
 
-use crate::{Color, StampSet, UNCOLORED};
+use crate::{BitStampSet, Color, UNCOLORED};
 
 /// Checks that `colors` is a complete, valid bipartite partial coloring:
 /// every vertex colored, and no two vertices of any net share a color.
@@ -27,7 +27,7 @@ pub fn verify_bgpc(g: &BipartiteGraph, colors: &[Color]) -> Result<(), String> {
             return Err(format!("vertex {u} has invalid color {c}"));
         }
     }
-    let mut seen = StampSet::with_capacity(64);
+    let mut seen = BitStampSet::with_capacity(64);
     for v in 0..g.n_nets() {
         seen.advance();
         for &u in g.vtxs(v) {
@@ -58,7 +58,7 @@ pub fn verify_d2gc(g: &Graph, colors: &[Color]) -> Result<(), String> {
             return Err(format!("vertex {u} uncolored or invalid ({c})"));
         }
     }
-    let mut seen = StampSet::with_capacity(64);
+    let mut seen = BitStampSet::with_capacity(64);
     for v in 0..g.n_vertices() {
         seen.advance();
         seen.insert(colors[v]);

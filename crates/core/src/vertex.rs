@@ -9,6 +9,7 @@ use graph::BipartiteGraph;
 use par::{Pool, ThreadScratch};
 
 use crate::ctx::ThreadCtx;
+use crate::forbidden::ForbiddenSet;
 use crate::workqueue::{merge_local_queues, SharedQueue};
 use crate::{Balance, Colors, UNCOLORED};
 
@@ -18,14 +19,14 @@ use crate::{Balance, Colors, UNCOLORED};
 /// for [`Balance::Unbalanced`]) against the colors currently visible in its
 /// distance-2 neighborhood. Races with concurrent writers are expected and
 /// repaired by the following conflict-removal phase.
-pub fn color_workqueue_vertex(
+pub fn color_workqueue_vertex<F: ForbiddenSet>(
     g: &BipartiteGraph,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx>,
+    scratch: &ThreadScratch<ThreadCtx<F>>,
 ) {
     pool.for_dynamic(w.len(), chunk, |tid, range| {
         par::faults::fire("bgpc.color", tid);
@@ -57,19 +58,20 @@ pub fn color_workqueue_vertex(
 /// for recoloring (its stale color is left in place, exactly like the
 /// original — the next coloring phase overwrites it).
 ///
-/// `eager` selects ColPack's shared-queue construction (one atomic push per
-/// conflict); otherwise the 64D lazy strategy collects conflicts in
-/// thread-private queues merged after the join. Returns `W_next`.
-pub fn remove_conflicts_vertex(
+/// `eager` selects ColPack's shared-queue construction (staged: one atomic
+/// `fetch_add` per 64 conflicts instead of one per conflict); otherwise the
+/// 64D lazy strategy collects conflicts in thread-private queues merged
+/// after the join. Returns `W_next`.
+pub fn remove_conflicts_vertex<F: ForbiddenSet>(
     g: &BipartiteGraph,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
     eager: Option<&SharedQueue>,
-    scratch: &mut ThreadScratch<ThreadCtx>,
+    scratch: &mut ThreadScratch<ThreadCtx<F>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx> = scratch;
+    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
     pool.for_dynamic(w.len(), chunk, |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
@@ -81,7 +83,7 @@ pub fn remove_conflicts_vertex(
                     for &u in g.vtxs(v as usize) {
                         if u < wv && colors.get(u as usize) == cw {
                             match eager {
-                                Some(q) => q.push(wv),
+                                Some(q) => q.push_staged(&mut ctx.stage, wv),
                                 None => ctx.local_queue.push(wv),
                             }
                             break 'detect;
@@ -92,7 +94,14 @@ pub fn remove_conflicts_vertex(
         });
     });
     match eager {
-        Some(q) => q.drain_to_vec(),
+        Some(q) => {
+            // Flush each thread's residual stage (outside the region — the
+            // join ordered all staged writes before this point).
+            for ctx in scratch.iter_mut() {
+                q.flush(&mut ctx.stage);
+            }
+            q.drain_to_vec()
+        }
         None => merge_local_queues(scratch),
     }
 }
@@ -111,7 +120,8 @@ mod tests {
     fn run_until_valid(g: &BipartiteGraph, pool: &Pool, eager: bool) -> Vec<i32> {
         let n = g.n_vertices();
         let colors = Colors::new(n);
-        let mut scratch = ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(16));
+        let mut scratch: ThreadScratch<ThreadCtx> =
+            ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(16));
         let shared = SharedQueue::new(n);
         let mut w: Vec<u32> = (0..n as u32).collect();
         let mut guard = 0;
@@ -164,7 +174,8 @@ mod tests {
         let g = BipartiteGraph::from_matrix(&Csr::from_rows(4, &[vec![0, 1], vec![2, 3]]));
         let pool = Pool::new(2);
         let colors = Colors::new(4);
-        let mut scratch = ThreadScratch::new(2, |_| ThreadCtx::new(8));
+        let mut scratch: ThreadScratch<ThreadCtx> =
+            ThreadScratch::new(2, |_| ThreadCtx::new(8));
         let w: Vec<u32> = vec![0, 1, 2, 3];
         color_workqueue_vertex(&g, &w, &colors, &pool, 1, Balance::Unbalanced, &scratch);
         let wnext =
@@ -191,7 +202,8 @@ mod tests {
         let colors = Colors::new(2);
         colors.set(0, 0);
         colors.set(1, 0);
-        let mut scratch = ThreadScratch::new(1, |_| ThreadCtx::new(4));
+        let mut scratch: ThreadScratch<ThreadCtx> =
+            ThreadScratch::new(1, |_| ThreadCtx::new(4));
         let wnext =
             remove_conflicts_vertex(&g, &[0, 1], &colors, &pool, 1, None, &mut scratch);
         assert_eq!(wnext, vec![1]);
@@ -208,7 +220,8 @@ mod tests {
         for balance in [Balance::B1, Balance::B2] {
             let pool = Pool::new(3);
             let colors = Colors::new(g.n_vertices());
-            let mut scratch = ThreadScratch::new(3, |_| ThreadCtx::new(32));
+            let mut scratch: ThreadScratch<ThreadCtx> =
+                ThreadScratch::new(3, |_| ThreadCtx::new(32));
             let mut w: Vec<u32> = (0..g.n_vertices() as u32).collect();
             let mut rounds = 0;
             while !w.is_empty() {

@@ -204,6 +204,51 @@ fn repeated_panics_across_runs_never_poison_the_pool() {
 }
 
 #[test]
+fn both_forbidden_set_representations_repair_after_faults() {
+    // The word-packed BitStampSet and the per-color StampSet drive the
+    // same generic kernels; a contained fault must repair into a valid
+    // coloring regardless of which representation the run used (the
+    // staged eager queue in particular must not lose or duplicate
+    // entries across the containment boundary).
+    let _g = serial();
+    let g = bgpc_instance();
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new(4);
+    let opts = RunnerOpts::default();
+    for schedule in [Schedule::v_v(), Schedule::n1_n2()] {
+        faults::arm("bgpc.conflict", FaultAction::Panic);
+        let r_bits = bgpc::color_bgpc_with_set::<bgpc::BitStampSet>(
+            &g, &order, &schedule, &pool, opts,
+        );
+        faults::reset();
+        assert_degraded_panic(&r_bits, FailedPhase::Conflict, "BitStampSet");
+        verify_bgpc(&g, &r_bits.colors)
+            .unwrap_or_else(|e| panic!("BitStampSet {}: {e}", schedule.name()));
+
+        faults::arm("bgpc.conflict", FaultAction::Panic);
+        let r_spec =
+            bgpc::color_bgpc_with_set::<bgpc::StampSet>(&g, &order, &schedule, &pool, opts);
+        faults::reset();
+        assert_degraded_panic(&r_spec, FailedPhase::Conflict, "StampSet");
+        verify_bgpc(&g, &r_spec.colors)
+            .unwrap_or_else(|e| panic!("StampSet {}: {e}", schedule.name()));
+    }
+    let d2 = d2gc_instance();
+    let d2_order = Ordering::Natural.vertex_order_d2(&d2);
+    faults::arm("d2gc.color", FaultAction::Panic);
+    let r = bgpc::d2gc::color_d2gc_with_set::<bgpc::StampSet>(
+        &d2,
+        &d2_order,
+        &Schedule::n1_n2(),
+        &pool,
+        opts,
+    );
+    faults::reset();
+    assert_degraded_panic(&r, FailedPhase::Color, "D2GC StampSet");
+    verify_d2gc(&d2, &r.colors).unwrap();
+}
+
+#[test]
 fn iteration_cap_zero_degrades_to_sequential_fallback() {
     // No fail points involved, but keep SERIAL: a concurrent armed point
     // from another test would otherwise fire inside this run too.

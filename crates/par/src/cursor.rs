@@ -31,15 +31,26 @@ impl ChunkCursor {
     /// Claims the next chunk, or `None` when the range is exhausted.
     #[inline]
     pub fn claim(&self) -> Option<Range<usize>> {
-        // `fetch_add` may run past `len` when many threads race on the last
-        // chunk; the comparison below discards those empty claims. Overflow
-        // is unreachable in practice: it would need `usize::MAX / chunk`
-        // claims in one parallel region.
+        // Exhaustion check with a plain load first: without it, a team
+        // spinning on an exhausted cursor keeps `fetch_add`-ing, growing
+        // the counter without bound and ping-ponging the cache line
+        // between cores. With the check, each thread performs at most one
+        // wasted `fetch_add` (a race on the last chunk), so the counter
+        // stays ≤ `len + threads × chunk`.
+        if self.next.load(Ordering::Relaxed) >= self.len {
+            return None;
+        }
         let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
         if start >= self.len {
             return None;
         }
         Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Raw counter value, for bounded-growth assertions in tests.
+    #[cfg(test)]
+    fn raw_next(&self) -> usize {
+        self.next.load(Ordering::Relaxed)
     }
 
     /// Total length of the underlying range.
@@ -97,6 +108,44 @@ mod tests {
         let cursor = ChunkCursor::new(5, 100);
         assert_eq!(cursor.claim(), Some(0..5));
         assert_eq!(cursor.claim(), None);
+    }
+
+    #[test]
+    fn exhausted_cursor_counter_stays_bounded() {
+        // Regression: claims after exhaustion must not keep growing the
+        // counter (unbounded `fetch_add` = cache-line ping-pong on idle
+        // threads). Single-threaded, the post-exhaustion counter must not
+        // move at all.
+        let cursor = ChunkCursor::new(10, 4);
+        while cursor.claim().is_some() {}
+        let settled = cursor.raw_next();
+        for _ in 0..1000 {
+            assert_eq!(cursor.claim(), None);
+        }
+        assert_eq!(cursor.raw_next(), settled, "counter grew after exhaustion");
+    }
+
+    #[test]
+    fn concurrent_exhausted_claims_bounded_by_team_size() {
+        let threads = 8;
+        let cursor = ChunkCursor::new(1000, 7);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    // Drain, then hammer the exhausted cursor.
+                    while cursor.claim().is_some() {}
+                    for _ in 0..10_000 {
+                        assert!(cursor.claim().is_none());
+                    }
+                });
+            }
+        });
+        // Each thread can overshoot by at most one chunk.
+        assert!(
+            cursor.raw_next() <= cursor.len() + threads * cursor.chunk(),
+            "counter {} not bounded",
+            cursor.raw_next()
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Deterministic quick-mode benchmark run: forbidden-set microbench plus
+# end-to-end schedule timings on the synthetic dataset registry, written
+# to BENCH_coloring.json at the repo root.
+#
+#   ./scripts/bench.sh            # quick mode (default)
+#   ./scripts/bench.sh --full     # larger scale, more threads/reps
+#   ./scripts/bench.sh --smoke    # seconds-long pipeline exercise
+#
+# Instances are generated from the in-repo synthetic registry with a
+# fixed seed, so consecutive runs time identical work. Every coloring is
+# verified; an invalid coloring fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE_FLAG="--quick"
+case "${1:-}" in
+  --full) MODE_FLAG="" ;;
+  --smoke) MODE_FLAG="--smoke" ;;
+  "" | --quick) ;;
+  *)
+    echo "usage: $0 [--quick|--full|--smoke]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== cargo build --release --offline -p bench (bench_coloring)"
+cargo build --release --offline -p bench --bin bench_coloring
+
+echo "== bench_coloring ${MODE_FLAG:-(full)}"
+# shellcheck disable=SC2086  # MODE_FLAG is intentionally word-split
+./target/release/bench_coloring ${MODE_FLAG} --out BENCH_coloring.json
+
+echo "== microbench: forbidden-set representations"
+cargo bench --offline -p bench --bench forbidden
+
+echo "bench: OK (wrote BENCH_coloring.json)"

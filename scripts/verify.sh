@@ -14,4 +14,18 @@ cargo test --workspace -q --offline
 echo "== cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== bench smoke: bench_coloring --smoke (verifies every coloring)"
+# The smoke run exits nonzero if any schedule produces an invalid
+# coloring; its JSON goes under target/ so it never clobbers the
+# checked-in BENCH_coloring.json from scripts/bench.sh.
+./target/release/bench_coloring --smoke --out target/BENCH_smoke.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool target/BENCH_smoke.json >/dev/null
+  echo "bench smoke JSON parses"
+else
+  # Fallback: the emitted report always ends with a closing brace.
+  grep -q '}' target/BENCH_smoke.json
+  echo "bench smoke JSON present (python3 unavailable; shallow check)"
+fi
+
 echo "verify: OK"

@@ -114,7 +114,7 @@ fn lemma1_first_net_pass_within_bound() {
         prop_assume!(g.max_net_size() > 0);
         let pool = Pool::new(1);
         let colors = Colors::new(g.n_vertices());
-        let sc = ThreadScratch::new(1, |_| ThreadCtx::new(16));
+        let sc: ThreadScratch<ThreadCtx> = ThreadScratch::new(1, |_| ThreadCtx::new(16));
         color_workqueue_net(
             &g,
             &colors,
