@@ -22,8 +22,8 @@ use bench::to_json_struct;
 use bgpc::verify::{verify_bgpc, verify_d2gc};
 use bgpc::{BitStampSet, ForbiddenSet, RunnerOpts, Schedule, StampSet};
 use graph::{BipartiteGraph, Graph, Ordering};
-use par::Pool;
-use sparse::Dataset;
+use par::{Pool, Sched};
+use sparse::{Csr, CsrIndex, Dataset, IndexWidth, LocalityOrder};
 
 /// Micro comparison row: dense first-fit cost per call.
 struct MicroRecord {
@@ -48,6 +48,12 @@ struct ScheduleRecord {
     schedule: String,
     threads: usize,
     set_impl: String,
+    /// Row-pointer width the run used (`u32` or `u64`).
+    index_width: String,
+    /// Locality relabeling applied before coloring (`none`/`degree`/`bfs`).
+    order: String,
+    /// Chunk-scheduling policy (`dynamic` or `steal`).
+    sched: String,
     /// Minimum wall time over the repetitions, milliseconds.
     time_ms: f64,
     num_colors: usize,
@@ -60,6 +66,9 @@ to_json_struct!(ScheduleRecord {
     schedule,
     threads,
     set_impl,
+    index_width,
+    order,
+    sched,
     time_ms,
     num_colors,
     rounds,
@@ -71,6 +80,13 @@ struct BenchReport {
     scale: f64,
     seed: u64,
     reps: usize,
+    /// Git SHA of the measured tree (`BENCH_GIT_SHA`, set by
+    /// `scripts/bench.sh`; `unknown` when run by hand).
+    git_sha: String,
+    /// Host the numbers came from (`BENCH_HOSTNAME` / `HOSTNAME`).
+    hostname: String,
+    /// Hardware threads available on the host.
+    host_threads: usize,
     micro: Vec<MicroRecord>,
     schedules: Vec<ScheduleRecord>,
 }
@@ -79,6 +95,9 @@ to_json_struct!(BenchReport {
     scale,
     seed,
     reps,
+    git_sha,
+    hostname,
+    host_threads,
     micro,
     schedules
 });
@@ -132,8 +151,8 @@ fn micro_section(samples: usize) -> Vec<MicroRecord> {
 /// Runs one schedule `reps` times with forbidden-set `F`, verifying every
 /// run; returns the record with the minimum wall time.
 #[allow(clippy::too_many_arguments)]
-fn run_bgpc<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+fn run_bgpc<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     order: &[u32],
     dataset: &str,
     schedule: &Schedule,
@@ -146,7 +165,7 @@ fn run_bgpc<F: ForbiddenSet>(
     let mut num_colors = 0;
     let mut rounds = 0;
     for _ in 0..reps {
-        let r = bgpc::color_bgpc_with_set::<F>(g, order, schedule, pool, RunnerOpts::default());
+        let r = bgpc::color_bgpc_with_set::<F, I>(g, order, schedule, pool, RunnerOpts::default());
         if let Err(e) = verify_bgpc(g, &r.colors) {
             eprintln!(
                 "FATAL: invalid BGPC coloring ({dataset}, {}, {threads}t, {set_impl}): {e}",
@@ -167,6 +186,126 @@ fn run_bgpc<F: ForbiddenSet>(
         schedule: schedule.name(),
         threads,
         set_impl: set_impl.into(),
+        index_width: I::LABEL.into(),
+        order: "none".into(),
+        sched: schedule.sched.label().into(),
+        time_ms: best_ms,
+        num_colors,
+        rounds,
+        verified: true,
+    }
+}
+
+/// One axis-sweep measurement: colors the relabeled pattern `pm` at width
+/// `I`, maps the coloring back through `perm`, and verifies it against the
+/// *original* graph — the sweep cannot report a fast-but-wrong relabeled
+/// run. Uses the runner's per-instance forbidden-set dispatch.
+#[allow(clippy::too_many_arguments)]
+fn axis_record_bgpc<I: CsrIndex>(
+    pm: &Csr<I>,
+    g0: &BipartiteGraph,
+    perm: &Option<Vec<u32>>,
+    dataset: &str,
+    schedule: &Schedule,
+    pool: &Pool,
+    threads: usize,
+    relabel: LocalityOrder,
+    reps: usize,
+) -> ScheduleRecord {
+    let g = BipartiteGraph::from_matrix(pm);
+    let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    let mut best_ms = f64::INFINITY;
+    let mut num_colors = 0;
+    let mut rounds = 0;
+    for _ in 0..reps {
+        let r = bgpc::color_bgpc(&g, &order, schedule, pool);
+        let colors = match perm {
+            Some(p) => sparse::unpermute(&r.colors, p),
+            None => r.colors.clone(),
+        };
+        if let Err(e) = verify_bgpc(g0, &colors) {
+            eprintln!(
+                "FATAL: invalid BGPC axis coloring ({dataset}, {}, {threads}t, {}, {}, {}): {e}",
+                schedule.name(),
+                I::LABEL,
+                relabel.label(),
+                schedule.sched,
+            );
+            std::process::exit(1);
+        }
+        let ms = r.total_time.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            num_colors = r.num_colors;
+            rounds = r.rounds();
+        }
+    }
+    ScheduleRecord {
+        problem: "BGPC".into(),
+        dataset: dataset.into(),
+        schedule: schedule.name(),
+        threads,
+        set_impl: "auto".into(),
+        index_width: I::LABEL.into(),
+        order: relabel.label().into(),
+        sched: schedule.sched.label().into(),
+        time_ms: best_ms,
+        num_colors,
+        rounds,
+        verified: true,
+    }
+}
+
+/// D2GC analogue of [`axis_record_bgpc`] over the symmetric relabeling.
+#[allow(clippy::too_many_arguments)]
+fn axis_record_d2gc<I: CsrIndex>(
+    pm: &Csr<I>,
+    g0: &Graph,
+    perm: &Option<Vec<u32>>,
+    dataset: &str,
+    schedule: &Schedule,
+    pool: &Pool,
+    threads: usize,
+    relabel: LocalityOrder,
+    reps: usize,
+) -> ScheduleRecord {
+    let g = Graph::from_symmetric_matrix(pm);
+    let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    let mut best_ms = f64::INFINITY;
+    let mut num_colors = 0;
+    let mut rounds = 0;
+    for _ in 0..reps {
+        let r = bgpc::d2gc::color_d2gc(&g, &order, schedule, pool);
+        let colors = match perm {
+            Some(p) => sparse::unpermute(&r.colors, p),
+            None => r.colors.clone(),
+        };
+        if let Err(e) = verify_d2gc(g0, &colors) {
+            eprintln!(
+                "FATAL: invalid D2GC axis coloring ({dataset}, {}, {threads}t, {}, {}, {}): {e}",
+                schedule.name(),
+                I::LABEL,
+                relabel.label(),
+                schedule.sched,
+            );
+            std::process::exit(1);
+        }
+        let ms = r.total_time.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            num_colors = r.num_colors;
+            rounds = r.rounds();
+        }
+    }
+    ScheduleRecord {
+        problem: "D2GC".into(),
+        dataset: dataset.into(),
+        schedule: schedule.name(),
+        threads,
+        set_impl: "auto".into(),
+        index_width: I::LABEL.into(),
+        order: relabel.label().into(),
+        sched: schedule.sched.label().into(),
         time_ms: best_ms,
         num_colors,
         rounds,
@@ -208,6 +347,9 @@ fn run_d2gc(
         schedule: schedule.name(),
         threads,
         set_impl: "BitStampSet".into(),
+        index_width: "u32".into(),
+        order: "none".into(),
+        sched: schedule.sched.label().into(),
         time_ms: best_ms,
         num_colors,
         rounds,
@@ -215,10 +357,26 @@ fn run_d2gc(
     }
 }
 
+/// Reads the value of `--flag` style options, exiting with the usage code
+/// when the value is missing.
+fn flag_value(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i + 1)
+        .unwrap_or_else(|| {
+            eprintln!("missing value after {flag}");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = "full";
     let mut out_path = String::from("BENCH_coloring.json");
+    // Axis restrictions for the width × order × sched sweep; `None` means
+    // "sweep every value" so the default report holds all combinations.
+    let mut only_width: Option<IndexWidth> = None;
+    let mut only_order: Option<LocalityOrder> = None;
+    let mut only_sched: Option<Sched> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -231,21 +389,48 @@ fn main() {
                 i += 1;
             }
             "--out" => {
-                out_path = args
-                    .get(i + 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("missing value after --out");
-                        std::process::exit(2);
-                    })
-                    .clone();
+                out_path = flag_value(&args, i, "--out");
+                i += 2;
+            }
+            "--index-width" => {
+                let v = flag_value(&args, i, "--index-width");
+                only_width = Some(IndexWidth::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("bad --index-width `{v}` (expected u32|u64)");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--order" => {
+                let v = flag_value(&args, i, "--order");
+                only_order = Some(LocalityOrder::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("bad --order `{v}` (expected none|degree|bfs)");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--sched" => {
+                let v = flag_value(&args, i, "--sched");
+                only_sched = Some(Sched::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("bad --sched `{v}` (expected dynamic|steal)");
+                    std::process::exit(2);
+                }));
                 i += 2;
             }
             other => {
-                eprintln!("unknown flag `{other}` (expected --smoke, --quick, --out PATH)");
+                eprintln!(
+                    "unknown flag `{other}` (expected --smoke, --quick, --out PATH, \
+                     --index-width W, --order O, --sched S)"
+                );
                 std::process::exit(2);
             }
         }
     }
+
+    let widths: Vec<IndexWidth> =
+        only_width.map_or_else(|| vec![IndexWidth::U32, IndexWidth::U64], |w| vec![w]);
+    let orders: Vec<LocalityOrder> =
+        only_order.map_or_else(|| LocalityOrder::all().to_vec(), |o| vec![o]);
+    let scheds: Vec<Sched> = only_sched.map_or_else(|| Sched::all().to_vec(), |s| vec![s]);
 
     let (scale, reps, threads, bgpc_sets, d2gc_sets, micro_samples): (
         f64,
@@ -309,7 +494,7 @@ fn main() {
         for &t in &threads {
             let pool = Pool::new(t);
             for schedule in Schedule::all() {
-                schedules.push(run_bgpc::<BitStampSet>(
+                schedules.push(run_bgpc::<BitStampSet, _>(
                     &g,
                     &order,
                     dataset.name(),
@@ -323,7 +508,7 @@ fn main() {
             // Representation ablation on the two headline schedules: the
             // same driver with the per-color StampSet.
             for schedule in [Schedule::v_v(), Schedule::n1_n2()] {
-                schedules.push(run_bgpc::<StampSet>(
+                schedules.push(run_bgpc::<StampSet, _>(
                     &g,
                     &order,
                     dataset.name(),
@@ -336,6 +521,45 @@ fn main() {
             }
         }
     }
+    // Axis sweep (index width × locality relabeling × chunk scheduler) on
+    // the headline schedules. Every run is verified against the original,
+    // un-relabeled graph after mapping the coloring back.
+    for dataset in &bgpc_sets {
+        let inst = dataset.build(scale, SEED);
+        let g0 = BipartiteGraph::from_matrix(&inst.matrix);
+        for &relabel in &orders {
+            let (pm, perm) = relabel.apply_columns(&inst.matrix);
+            for &width in &widths {
+                for &t in &threads {
+                    let pool = Pool::new(t);
+                    for base in [Schedule::v_v_64d(), Schedule::n1_n2()] {
+                        for &sched in &scheds {
+                            let schedule = base.clone().with_sched(sched);
+                            let rec = match width {
+                                IndexWidth::U32 => axis_record_bgpc(
+                                    &pm, &g0, &perm, dataset.name(), &schedule, &pool, t,
+                                    relabel, reps,
+                                ),
+                                IndexWidth::U64 => axis_record_bgpc(
+                                    &pm.to_index::<u64>(),
+                                    &g0,
+                                    &perm,
+                                    dataset.name(),
+                                    &schedule,
+                                    &pool,
+                                    t,
+                                    relabel,
+                                    reps,
+                                ),
+                            };
+                            schedules.push(rec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     for dataset in &d2gc_sets {
         let inst = dataset.build(scale, SEED);
         let g = Graph::from_symmetric_matrix(&inst.matrix);
@@ -346,12 +570,52 @@ fn main() {
                 schedules.push(run_d2gc(&g, &order, dataset.name(), &schedule, &pool, t, reps));
             }
         }
+        // Same axis sweep for D2GC on its headline schedule, with the
+        // symmetric (row+column) relabeling.
+        for &relabel in &orders {
+            let (pm, perm) = relabel.apply_symmetric(&inst.matrix);
+            for &width in &widths {
+                for &t in &threads {
+                    let pool = Pool::new(t);
+                    for &sched in &scheds {
+                        let schedule = Schedule::v_v_64d().with_sched(sched);
+                        let rec = match width {
+                            IndexWidth::U32 => axis_record_d2gc(
+                                &pm, &g, &perm, dataset.name(), &schedule, &pool, t, relabel,
+                                reps,
+                            ),
+                            IndexWidth::U64 => axis_record_d2gc(
+                                &pm.to_index::<u64>(),
+                                &g,
+                                &perm,
+                                dataset.name(),
+                                &schedule,
+                                &pool,
+                                t,
+                                relabel,
+                                reps,
+                            ),
+                        };
+                        schedules.push(rec);
+                    }
+                }
+            }
+        }
     }
 
     for s in &schedules {
         eprintln!(
-            "  {} {} {} {}t [{}]: {:.3} ms, {} colors, {} rounds",
-            s.problem, s.dataset, s.schedule, s.threads, s.set_impl, s.time_ms, s.num_colors,
+            "  {} {} {} {}t [{}/{}/{}/{}]: {:.3} ms, {} colors, {} rounds",
+            s.problem,
+            s.dataset,
+            s.schedule,
+            s.threads,
+            s.set_impl,
+            s.index_width,
+            s.order,
+            s.sched,
+            s.time_ms,
+            s.num_colors,
             s.rounds
         );
     }
@@ -361,6 +625,11 @@ fn main() {
         scale,
         seed: SEED,
         reps,
+        git_sha: std::env::var("BENCH_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
+        hostname: std::env::var("BENCH_HOSTNAME")
+            .or_else(|_| std::env::var("HOSTNAME"))
+            .unwrap_or_else(|_| "unknown".into()),
+        host_threads: std::thread::available_parallelism().map_or(0, |n| n.get()),
         micro,
         schedules,
     };

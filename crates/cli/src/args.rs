@@ -3,7 +3,7 @@
 
 use bgpc::Schedule;
 use graph::Ordering;
-use sparse::Dataset;
+use sparse::{Dataset, IndexWidth, LocalityOrder};
 
 /// Which coloring problem to solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,6 +23,8 @@ pub enum Problem {
 pub enum Input {
     /// Matrix Market file path.
     Mtx(String),
+    /// Binary cache file path (`sparse::bin_io` format).
+    Bin(String),
     /// Synthetic analogue of a paper dataset at a scale.
     Dataset { dataset: Dataset, scale: f64, seed: u64 },
 }
@@ -40,6 +42,11 @@ pub struct ColorArgs {
     pub ordering: Ordering,
     /// Team size.
     pub threads: usize,
+    /// Row-pointer index width (`None` = pick by nonzero count).
+    pub index_width: Option<IndexWidth>,
+    /// Locality relabeling applied to the pattern before coloring; the
+    /// reported coloring is always mapped back to original ids.
+    pub relabel: LocalityOrder,
     /// Run the iterative-recoloring post-pass.
     pub recolor: bool,
     /// Optional output path for `vertex color` lines.
@@ -48,9 +55,11 @@ pub struct ColorArgs {
 
 /// Usage text for the `color` command.
 pub const COLOR_USAGE: &str = "\
-usage: bgpc-cli color [--mtx FILE | --dataset NAME [--scale F] [--seed N]]
+usage: bgpc-cli color [--mtx FILE | --bin FILE | --dataset NAME [--scale F] [--seed N]]
                       [--problem bgpc|d2gc|d1gc|dK] [--schedule NAME]
                       [--order natural|random:SEED|largest-first|smallest-last|incidence-degree]
+                      [--index-width auto|u32|u64] [--relabel none|degree|bfs]
+                      [--sched dynamic|steal]
                       [--threads N] [--recolor] [--output FILE]
 
 schedules: V-V, V-V-64, V-V-64D, V-Ninf, V-N1, V-N2, N1-N2, N2-N2
@@ -62,6 +71,7 @@ impl ColorArgs {
     /// Parses the flag list following the `color` subcommand.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut mtx: Option<String> = None;
+        let mut bin: Option<String> = None;
         let mut dataset: Option<Dataset> = None;
         let mut scale = 0.01;
         let mut seed = 20170814u64;
@@ -69,6 +79,9 @@ impl ColorArgs {
         let mut schedule = Schedule::n1_n2();
         let mut ordering = Ordering::Natural;
         let mut threads = par::available_threads();
+        let mut index_width: Option<IndexWidth> = None;
+        let mut relabel = LocalityOrder::None;
+        let mut sched = par::Sched::Dynamic;
         let mut recolor = false;
         let mut output = None;
 
@@ -82,6 +95,10 @@ impl ColorArgs {
             match flag {
                 "--mtx" => {
                     mtx = Some(value(i)?.clone());
+                    i += 2;
+                }
+                "--bin" => {
+                    bin = Some(value(i)?.clone());
                     i += 2;
                 }
                 "--dataset" => {
@@ -116,6 +133,28 @@ impl ColorArgs {
                     threads = value(i)?.parse().map_err(|e| format!("bad --threads: {e}"))?;
                     i += 2;
                 }
+                "--index-width" => {
+                    let v = value(i)?;
+                    index_width = if v.eq_ignore_ascii_case("auto") {
+                        None
+                    } else {
+                        Some(
+                            IndexWidth::from_name(v)
+                                .ok_or_else(|| format!("unknown index width `{v}`"))?,
+                        )
+                    };
+                    i += 2;
+                }
+                "--relabel" => {
+                    relabel = LocalityOrder::from_name(value(i)?)
+                        .ok_or_else(|| format!("unknown relabeling `{}`", args[i + 1]))?;
+                    i += 2;
+                }
+                "--sched" => {
+                    sched = par::Sched::from_name(value(i)?)
+                        .ok_or_else(|| format!("unknown chunk scheduler `{}`", args[i + 1]))?;
+                    i += 2;
+                }
                 "--recolor" => {
                     recolor = true;
                     i += 1;
@@ -128,18 +167,23 @@ impl ColorArgs {
             }
         }
 
-        let input = match (mtx, dataset) {
-            (Some(path), None) => Input::Mtx(path),
-            (None, Some(dataset)) => Input::Dataset { dataset, scale, seed },
-            (Some(_), Some(_)) => return Err("--mtx and --dataset are exclusive".into()),
-            (None, None) => return Err("need --mtx FILE or --dataset NAME".into()),
+        let input = match (mtx, bin, dataset) {
+            (Some(path), None, None) => Input::Mtx(path),
+            (None, Some(path), None) => Input::Bin(path),
+            (None, None, Some(dataset)) => Input::Dataset { dataset, scale, seed },
+            (None, None, None) => {
+                return Err("need --mtx FILE, --bin FILE, or --dataset NAME".into())
+            }
+            _ => return Err("--mtx, --bin, and --dataset are exclusive".into()),
         };
         Ok(Self {
             input,
             problem,
-            schedule,
+            schedule: schedule.with_sched(sched),
             ordering,
             threads,
+            index_width,
+            relabel,
             recolor,
             output,
         })
@@ -242,5 +286,34 @@ mod tests {
     fn random_ordering_with_seed() {
         let a = ColorArgs::parse(&s(&["--mtx", "a", "--order", "random:9"])).unwrap();
         assert_eq!(a.ordering, Ordering::Random(9));
+    }
+
+    #[test]
+    fn parse_width_relabel_and_sched_axes() {
+        let a = ColorArgs::parse(&s(&[
+            "--bin",
+            "m.bin",
+            "--index-width",
+            "u64",
+            "--relabel",
+            "bfs",
+            "--sched",
+            "steal",
+        ]))
+        .unwrap();
+        assert_eq!(a.input, Input::Bin("m.bin".into()));
+        assert_eq!(a.index_width, Some(IndexWidth::U64));
+        assert_eq!(a.relabel, LocalityOrder::Bfs);
+        assert_eq!(a.schedule.sched, par::Sched::Stealing);
+
+        let a = ColorArgs::parse(&s(&["--mtx", "a", "--index-width", "auto"])).unwrap();
+        assert_eq!(a.index_width, None);
+        assert_eq!(a.relabel, LocalityOrder::None);
+        assert_eq!(a.schedule.sched, par::Sched::Dynamic);
+
+        assert!(ColorArgs::parse(&s(&["--mtx", "a", "--index-width", "u128"])).is_err());
+        assert!(ColorArgs::parse(&s(&["--mtx", "a", "--relabel", "zzz"])).is_err());
+        assert!(ColorArgs::parse(&s(&["--mtx", "a", "--sched", "zzz"])).is_err());
+        assert!(ColorArgs::parse(&s(&["--mtx", "a", "--bin", "b"])).is_err());
     }
 }

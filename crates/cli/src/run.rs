@@ -18,9 +18,10 @@
 use std::io::Write;
 
 use bgpc::verify::ColorClassStats;
-use graph::{BipartiteGraph, Graph};
+use bgpc::Schedule;
+use graph::{BipartiteGraph, Graph, Ordering};
 use par::Pool;
-use sparse::{Csr, Dataset, DegreeStats};
+use sparse::{Csr, CsrIndex, Dataset, DegreeStats, IndexWidth};
 
 use crate::args::{ColorArgs, Input, Problem, COLOR_USAGE};
 
@@ -64,7 +65,45 @@ fn load(input: &Input) -> Result<Csr, Failure> {
     match input {
         Input::Mtx(path) => sparse::mm::read_pattern_file(path)
             .map_err(|e| Failure::new(EXIT_INPUT, e.to_string())),
+        Input::Bin(path) => sparse::bin_io::read_bin_file(path)
+            .map_err(|e| Failure::new(EXIT_INPUT, e.to_string())),
         Input::Dataset { dataset, scale, seed } => Ok(dataset.build(*scale, *seed).matrix),
+    }
+}
+
+/// Runs the BGPC driver on an already-relabeled pattern at width `I`.
+fn run_bgpc_width<I: CsrIndex>(
+    m: Csr<I>,
+    schedule: &Schedule,
+    ordering: Ordering,
+    pool: &Pool,
+) -> Result<bgpc::ColoringResult, Failure> {
+    let g = BipartiteGraph::try_from_matrix_owned(m)
+        .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
+    let order = ordering.vertex_order_bgpc(&g);
+    bgpc::try_color_bgpc(&g, &order, schedule, pool)
+        .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))
+}
+
+/// Runs the D2GC driver on an already-relabeled pattern at width `I`.
+fn run_d2gc_width<I: CsrIndex>(
+    m: &Csr<I>,
+    schedule: &Schedule,
+    ordering: Ordering,
+    pool: &Pool,
+) -> Result<bgpc::ColoringResult, Failure> {
+    let g = Graph::try_from_symmetric_matrix(m)
+        .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
+    let order = ordering.vertex_order_d2(&g);
+    bgpc::d2gc::try_color_d2gc(&g, &order, schedule, pool)
+        .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))
+}
+
+/// Maps a coloring computed on a relabeled instance back to original ids.
+fn to_original_ids(colors: Vec<i32>, perm: &Option<Vec<u32>>) -> Vec<i32> {
+    match perm {
+        Some(p) => sparse::unpermute(&colors, p),
+        None => colors,
     }
 }
 
@@ -82,8 +121,12 @@ pub fn cmd_color(flags: &[String]) -> i32 {
 
 fn color(args: ColorArgs) -> Result<(), Failure> {
     let matrix = load(&args.input)?;
+    let width = args
+        .index_width
+        .unwrap_or_else(|| IndexWidth::auto_for(matrix.nnz()));
     println!(
-        "pattern: {} x {}, {} nnz; problem {:?}, schedule {}, {} threads, {} order",
+        "pattern: {} x {}, {} nnz; problem {:?}, schedule {}, {} threads, {} order, \
+         {} indices, {} relabel, {} chunks",
         matrix.nrows(),
         matrix.ncols(),
         matrix.nnz(),
@@ -91,22 +134,31 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         args.schedule.name(),
         args.threads,
         args.ordering.label(),
+        width.label(),
+        args.relabel.label(),
+        args.schedule.sched,
     );
     let pool = Pool::new(args.threads);
 
     let (colors, num_colors, bound, total_ms, rounds) = match args.problem {
         Problem::Bgpc => {
+            // Original-id graph: the relabeled run's coloring is mapped
+            // back and re-verified against this one.
             let g = BipartiteGraph::try_from_matrix(&matrix)
                 .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
-            let order = args.ordering.vertex_order_bgpc(&g);
-            let r = bgpc::try_color_bgpc(&g, &order, &args.schedule, &pool)
-                .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))?;
+            let (pm, perm) = args.relabel.apply_columns(&matrix);
+            let r = match width {
+                IndexWidth::U32 => run_bgpc_width(pm, &args.schedule, args.ordering, &pool)?,
+                IndexWidth::U64 => {
+                    run_bgpc_width(pm.to_index::<u64>(), &args.schedule, args.ordering, &pool)?
+                }
+            };
             report_degradation(&r.degraded);
-            bgpc::verify::verify_bgpc(&g, &r.colors)
-                .map_err(|e| Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}")))?;
             let total_ms = r.total_time.as_secs_f64() * 1e3;
             let rounds = r.rounds();
-            let mut colors = r.colors;
+            let mut colors = to_original_ids(r.colors, &perm);
+            bgpc::verify::verify_bgpc(&g, &colors)
+                .map_err(|e| Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}")))?;
             let mut k = r.num_colors;
             if args.recolor {
                 k = bgpc::recolor::reduce_colors_bgpc(&g, &mut colors, &pool);
@@ -122,15 +174,25 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
             let order = args.ordering.vertex_order_d2(&g);
             match args.problem {
                 Problem::D2gc => {
-                    let r = bgpc::d2gc::try_color_d2gc(&g, &order, &args.schedule, &pool)
-                        .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))?;
+                    let (pm, perm) = args.relabel.apply_symmetric(&matrix);
+                    let r = match width {
+                        IndexWidth::U32 => {
+                            run_d2gc_width(&pm, &args.schedule, args.ordering, &pool)?
+                        }
+                        IndexWidth::U64 => run_d2gc_width(
+                            &pm.to_index::<u64>(),
+                            &args.schedule,
+                            args.ordering,
+                            &pool,
+                        )?,
+                    };
                     report_degradation(&r.degraded);
-                    bgpc::verify::verify_d2gc(&g, &r.colors).map_err(|e| {
-                        Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}"))
-                    })?;
                     let total_ms = r.total_time.as_secs_f64() * 1e3;
                     let rounds = r.rounds();
-                    let mut colors = r.colors;
+                    let mut colors = to_original_ids(r.colors, &perm);
+                    bgpc::verify::verify_d2gc(&g, &colors).map_err(|e| {
+                        Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}"))
+                    })?;
                     let mut k = r.num_colors;
                     if args.recolor {
                         k = bgpc::recolor::reduce_colors_d2gc_seq(&g, &mut colors);
@@ -381,5 +443,93 @@ mod tests {
     fn successful_color_run_exits_zero() {
         let code = cmd_color(&s(&["--dataset", "af_shell10", "--scale", "0.002"]));
         assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn axis_combinations_color_and_verify_in_original_ids() {
+        // Every relabeling × width × scheduler combo still exits zero: the
+        // run colors the relabeled instance and re-verifies the unpermuted
+        // coloring against the original graph.
+        for relabel in ["none", "degree", "bfs"] {
+            for width in ["u32", "u64"] {
+                for sched in ["dynamic", "steal"] {
+                    let code = cmd_color(&s(&[
+                        "--dataset",
+                        "af_shell10",
+                        "--scale",
+                        "0.002",
+                        "--relabel",
+                        relabel,
+                        "--index-width",
+                        width,
+                        "--sched",
+                        sched,
+                    ]));
+                    assert_eq!(code, 0, "{relabel}/{width}/{sched}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d2gc_relabeled_run_exits_zero() {
+        let dir = std::env::temp_dir().join("bgpc-cli-d2-relabel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sym.mtx");
+        let m = sparse::gen::erdos_renyi(40, 90, 5);
+        sparse::mm::write_pattern_file(path.to_str().unwrap(), &m).unwrap();
+        let code = cmd_color(&s(&[
+            "--mtx",
+            path.to_str().unwrap(),
+            "--problem",
+            "d2gc",
+            "--relabel",
+            "bfs",
+            "--sched",
+            "steal",
+        ]));
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bin_input_roundtrips_through_cli() {
+        let dir = std::env::temp_dir().join("bgpc-cli-bin-ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.bin");
+        let m = sparse::gen::bipartite_uniform(20, 30, 120, 3);
+        sparse::bin_io::write_bin_file(&path, &m).unwrap();
+        let code = cmd_color(&s(&["--bin", path.to_str().unwrap()]));
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bin_with_out_of_bounds_column_exits_with_input_code() {
+        // Craft a cache file whose last column index is >= ncols: the
+        // reader's `Csr::try_from_parts` must reject it with the
+        // structured ColumnOutOfBounds error, mapped to the input code.
+        let dir = std::env::temp_dir().join("bgpc-cli-bin-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        let m = sparse::gen::bipartite_uniform(10, 10, 40, 1);
+        let mut buf = Vec::new();
+        sparse::bin_io::write_bin(&mut buf, &m).unwrap();
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+
+        let Err(f) = load(&Input::Bin(path.to_str().unwrap().into())) else {
+            panic!("corrupt bin must fail to load");
+        };
+        assert_eq!(f.code, EXIT_INPUT);
+        assert!(
+            f.msg.contains("ncols"),
+            "error must name the structured column-bound violation: {}",
+            f.msg
+        );
+        let code = cmd_color(&s(&["--bin", path.to_str().unwrap()]));
+        assert_eq!(code, EXIT_INPUT);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

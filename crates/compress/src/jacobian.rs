@@ -43,7 +43,7 @@ impl SparseF64 {
     /// Value of entry `(i, j)` if stored.
     pub fn get(&self, i: usize, j: u32) -> Option<f64> {
         let row = self.pattern.row(i);
-        let base = self.pattern.row_ptr()[i];
+        let base = self.pattern.row_start(i);
         row.binary_search(&j).ok().map(|k| self.values[base + k])
     }
 
@@ -58,7 +58,7 @@ impl SparseF64 {
         let k = seed.num_colors();
         let mut data = vec![0.0; nrows * k];
         for i in 0..nrows {
-            let base = self.pattern.row_ptr()[i];
+            let base = self.pattern.row_start(i);
             for (off, &j) in self.pattern.row(i).iter().enumerate() {
                 data[i * k + seed.color(j as usize)] += self.values[base + off];
             }

@@ -1,5 +1,9 @@
 //! Per-thread workspace shared by all phases.
 
+use std::marker::PhantomData;
+
+use sparse::CsrIndex;
+
 use crate::balance::BalancerState;
 use crate::forbidden::{BitStampSet, ForbiddenSet};
 
@@ -13,7 +17,10 @@ use crate::forbidden::{BitStampSet, ForbiddenSet};
 /// The forbidden-set representation is a type parameter so kernels can be
 /// benchmarked against both [`crate::StampSet`] and the word-packed
 /// [`BitStampSet`]; production paths use the default ([`BitStampSet`]).
-pub struct ThreadCtx<F: ForbiddenSet = BitStampSet> {
+/// The second parameter ties the workspace to the instance's CSR
+/// row-pointer width ([`CsrIndex`]): a scratch set built for a `u32`
+/// instance cannot be handed to a `u64` kernel by accident.
+pub struct ThreadCtx<F: ForbiddenSet = BitStampSet, I: CsrIndex = u32> {
     /// Forbidden-color set `F`.
     pub fb: F,
     /// B1/B2 cursors (`colmax`, `colnext`).
@@ -26,9 +33,11 @@ pub struct ThreadCtx<F: ForbiddenSet = BitStampSet> {
     /// flush with one `fetch_add` per [`crate::workqueue::STAGE_CAPACITY`]
     /// entries instead of one per conflict.
     pub stage: Vec<u32>,
+    /// Zero-sized marker for the instance's index width (see type docs).
+    _width: PhantomData<fn() -> I>,
 }
 
-impl<F: ForbiddenSet> ThreadCtx<F> {
+impl<F: ForbiddenSet, I: CsrIndex> ThreadCtx<F, I> {
     /// Creates a context sized for colors up to `color_capacity` (the
     /// forbidden set grows on demand if exceeded).
     pub fn new(color_capacity: usize) -> Self {
@@ -38,6 +47,7 @@ impl<F: ForbiddenSet> ThreadCtx<F> {
             local_queue: Vec::new(),
             wlocal: Vec::new(),
             stage: Vec::with_capacity(crate::workqueue::STAGE_CAPACITY),
+            _width: PhantomData,
         }
     }
 }
@@ -62,6 +72,12 @@ mod tests {
     #[test]
     fn generic_over_set_representation() {
         let ctx: ThreadCtx<StampSet> = ThreadCtx::new(32);
+        assert!(ctx.fb.capacity() >= 32);
+    }
+
+    #[test]
+    fn generic_over_index_width() {
+        let ctx: ThreadCtx<StampSet, u64> = ThreadCtx::new(32);
         assert!(ctx.fb.capacity() >= 32);
     }
 }

@@ -5,7 +5,8 @@
 //! distance-1 requirement that BGPC lacks), then scan the adjacency list.
 
 use graph::Graph;
-use par::{Pool, ThreadScratch};
+use par::{Pool, Sched, ThreadScratch};
+use sparse::CsrIndex;
 
 use crate::ctx::ThreadCtx;
 use crate::forbidden::ForbiddenSet;
@@ -18,14 +19,15 @@ const NET_CHUNK: usize = 16;
 /// The reverse first-fit cursor starts at `|nbor(v)|` (not
 /// `|nbor(v)| − 1`): the thread may color the middle vertex too, needing
 /// up to `|nbor(v)| + 1` colors including color 0.
-pub fn color_workqueue_net<F: ForbiddenSet>(
-    g: &Graph,
+pub fn color_workqueue_net<F: ForbiddenSet, I: CsrIndex>(
+    g: &Graph<I>,
     colors: &Colors,
     pool: &Pool,
+    sched: Sched,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
-    pool.for_dynamic(g.n_vertices(), NET_CHUNK, |tid, range| {
+    pool.for_sched(sched, g.n_vertices(), NET_CHUNK, |tid, range| {
         par::faults::fire("d2gc.color", tid);
         scratch.with(tid, |ctx| {
             for v in range {
@@ -81,13 +83,14 @@ pub fn color_workqueue_net<F: ForbiddenSet>(
 /// The middle vertex's color is seeded into `F` first, so a neighbor
 /// duplicating it is uncolored while `v` itself always survives its own
 /// scan (it may still lose in a neighbor's scan).
-pub fn remove_conflicts_net<F: ForbiddenSet>(
-    g: &Graph,
+pub fn remove_conflicts_net<F: ForbiddenSet, I: CsrIndex>(
+    g: &Graph<I>,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    sched: Sched,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
-    pool.for_dynamic(g.n_vertices(), NET_CHUNK, |tid, range| {
+    pool.for_sched(sched, g.n_vertices(), NET_CHUNK, |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch.with(tid, |ctx| {
             for v in range {
@@ -113,13 +116,13 @@ pub fn remove_conflicts_net<F: ForbiddenSet>(
 
 /// Rebuilds the explicit work queue after net-based conflict removal
 /// (uncolored vertices in `order`'s processing order).
-pub fn collect_uncolored<F: ForbiddenSet>(
+pub fn collect_uncolored<F: ForbiddenSet, I: CsrIndex>(
     order: &[u32],
     colors: &Colors,
     pool: &Pool,
-    scratch: &mut ThreadScratch<ThreadCtx<F>>,
+    scratch: &mut ThreadScratch<ThreadCtx<F, I>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
+    let scratch_ref: &ThreadScratch<ThreadCtx<F, I>> = scratch;
     pool.for_static(order.len(), |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
@@ -150,8 +153,8 @@ mod tests {
         let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let mut rounds = 0;
         loop {
-            color_workqueue_net(g, &colors, pool, Balance::Unbalanced, &sc);
-            remove_conflicts_net(g, &colors, pool, &sc);
+            color_workqueue_net(g, &colors, pool, Sched::Dynamic, Balance::Unbalanced, &sc);
+            remove_conflicts_net(g, &colors, pool, Sched::Dynamic, &sc);
             let w = collect_uncolored(&order, &colors, pool, &mut sc);
             if w.is_empty() {
                 break;
@@ -192,7 +195,7 @@ mod tests {
         let colors = Colors::new(3);
         let pool = Pool::new(1);
         let sc = scratch(1);
-        color_workqueue_net(&g, &colors, &pool, Balance::Unbalanced, &sc);
+        color_workqueue_net(&g, &colors, &pool, Sched::Dynamic, Balance::Unbalanced, &sc);
         let mut got = colors.snapshot();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2]);
@@ -208,7 +211,7 @@ mod tests {
         colors.set(1, 4);
         let pool = Pool::new(1);
         let sc = scratch(1);
-        remove_conflicts_net(&g, &colors, &pool, &sc);
+        remove_conflicts_net(&g, &colors, &pool, Sched::Dynamic, &sc);
         let snap = colors.snapshot();
         // exactly one survivor
         assert_eq!(snap.iter().filter(|&&c| c == 4).count(), 1);
@@ -227,16 +230,16 @@ mod tests {
             let colors = Colors::new(g.n_vertices());
             let mut sc = scratch(2);
             let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
-            color_workqueue_net(&g, &colors, &pool, balance, &sc);
-            remove_conflicts_net(&g, &colors, &pool, &sc);
+            color_workqueue_net(&g, &colors, &pool, Sched::Stealing, balance, &sc);
+            remove_conflicts_net(&g, &colors, &pool, Sched::Stealing, &sc);
             let mut w = collect_uncolored(&order, &colors, &pool, &mut sc);
             let mut rounds = 0;
             while !w.is_empty() {
                 crate::d2gc::vertex::color_workqueue_vertex(
-                    &g, &w, &colors, &pool, 4, balance, &sc,
+                    &g, &w, &colors, &pool, 4, Sched::Stealing, balance, &sc,
                 );
                 w = crate::d2gc::vertex::remove_conflicts_vertex(
-                    &g, &w, &colors, &pool, 4, None, &mut sc,
+                    &g, &w, &colors, &pool, 4, Sched::Stealing, None, &mut sc,
                 );
                 rounds += 1;
                 assert!(rounds < 100);

@@ -4,6 +4,7 @@ use std::time::{Duration, Instant};
 
 use graph::Graph;
 use par::{Pool, ThreadScratch};
+use sparse::CsrIndex;
 
 use crate::ctx::ThreadCtx;
 use crate::d2gc::{net, vertex};
@@ -25,13 +26,18 @@ use crate::{Colors, Schedule, UNCOLORED};
 ///
 /// Faults degrade instead of aborting, exactly as in
 /// [`crate::color_bgpc`]: see [`ColoringResult::degraded`].
-pub fn color_d2gc(g: &Graph, order: &[u32], schedule: &Schedule, pool: &Pool) -> ColoringResult {
+pub fn color_d2gc<I: CsrIndex>(
+    g: &Graph<I>,
+    order: &[u32],
+    schedule: &Schedule,
+    pool: &Pool,
+) -> ColoringResult {
     color_d2gc_with_opts(g, order, schedule, pool, RunnerOpts::default())
 }
 
 /// [`color_d2gc`] with an order validated against the vertex set.
-pub fn try_color_d2gc(
-    g: &Graph,
+pub fn try_color_d2gc<I: CsrIndex>(
+    g: &Graph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
@@ -50,25 +56,25 @@ const DENSE_DEGREE_THRESHOLD: usize = 128;
 /// representation per instance exactly like
 /// [`crate::color_bgpc_with_opts`]; use [`color_d2gc_with_set`] to force
 /// one.
-pub fn color_d2gc_with_opts(
-    g: &Graph,
+pub fn color_d2gc_with_opts<I: CsrIndex>(
+    g: &Graph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
     opts: RunnerOpts,
 ) -> ColoringResult {
     if g.max_degree() > DENSE_DEGREE_THRESHOLD {
-        color_d2gc_with_set::<crate::StampSet>(g, order, schedule, pool, opts)
+        color_d2gc_with_set::<crate::StampSet, I>(g, order, schedule, pool, opts)
     } else {
-        color_d2gc_with_set::<crate::BitStampSet>(g, order, schedule, pool, opts)
+        color_d2gc_with_set::<crate::BitStampSet, I>(g, order, schedule, pool, opts)
     }
 }
 
 /// [`color_d2gc`] generic over the forbidden-set representation `F`
 /// (benchmark harness entry point, mirroring
 /// [`crate::color_bgpc_with_set`]).
-pub fn color_d2gc_with_set<F: ForbiddenSet>(
-    g: &Graph,
+pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
+    g: &Graph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
@@ -76,7 +82,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet>(
 ) -> ColoringResult {
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n);
-    let mut scratch: ThreadScratch<ThreadCtx<F>> =
+    let mut scratch: ThreadScratch<ThreadCtx<F, I>> =
         ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 64));
     let colors = Colors::new(n);
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
@@ -119,12 +125,18 @@ pub fn color_d2gc_with_set<F: ForbiddenSet>(
                 &colors,
                 pool,
                 schedule.chunk,
+                schedule.sched,
                 schedule.balance,
                 &scratch,
             ),
-            PhaseKind::Net => {
-                net::color_workqueue_net(g, &colors, pool, schedule.balance, &scratch)
-            }
+            PhaseKind::Net => net::color_workqueue_net(
+                g,
+                &colors,
+                pool,
+                schedule.sched,
+                schedule.balance,
+                &scratch,
+            ),
         });
         let color_time = t_color.elapsed();
 
@@ -156,11 +168,12 @@ pub fn color_d2gc_with_set<F: ForbiddenSet>(
                 &colors,
                 pool,
                 schedule.chunk,
+                schedule.sched,
                 eager_queue.as_ref(),
                 &mut scratch,
             ),
             PhaseKind::Net => {
-                net::remove_conflicts_net(g, &colors, pool, &scratch);
+                net::remove_conflicts_net(g, &colors, pool, schedule.sched, &scratch);
                 net::collect_uncolored(order, &colors, pool, &mut scratch)
             }
         });
@@ -221,7 +234,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet>(
 /// common neighbor's. The repair scans each closed neighborhood, keeps the
 /// first holder of every color and uncolors later duplicates, then
 /// first-fit colors the uncolored set in `order`.
-fn repair_sequential(g: &Graph, order: &[u32], colors: &Colors) {
+fn repair_sequential<I: CsrIndex>(g: &Graph<I>, order: &[u32], colors: &Colors) {
     let n = g.n_vertices();
     let mut max_c: crate::Color = -1;
     for u in 0..n {
@@ -254,7 +267,7 @@ fn repair_sequential(g: &Graph, order: &[u32], colors: &Colors) {
     sequential_fallback(g, &uncolored, colors);
 }
 
-fn sequential_fallback(g: &Graph, w: &[u32], colors: &Colors) {
+fn sequential_fallback<I: CsrIndex>(g: &Graph<I>, w: &[u32], colors: &Colors) {
     let mut fb = crate::BitStampSet::with_capacity(g.max_degree() + 64);
     for &wv in w {
         let wu = wv as usize;

@@ -5,7 +5,8 @@
 //! neighborhood" — each queued vertex scans `nbor(w)` and `nbor(nbor(w))`.
 
 use graph::Graph;
-use par::{Pool, ThreadScratch};
+use par::{Pool, Sched, ThreadScratch};
+use sparse::CsrIndex;
 
 use crate::ctx::ThreadCtx;
 use crate::forbidden::ForbiddenSet;
@@ -14,19 +15,25 @@ use crate::{Balance, Colors, UNCOLORED};
 
 /// Optimistic coloring of the work queue, vertex-based: forbid the colors
 /// of everything within distance 2 of `w`, then pick with `balance`.
-pub fn color_workqueue_vertex<F: ForbiddenSet>(
-    g: &Graph,
+#[allow(clippy::too_many_arguments)] // mirrors the paper kernel's parameter list
+pub fn color_workqueue_vertex<F: ForbiddenSet, I: CsrIndex>(
+    g: &Graph<I>,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
+    sched: Sched,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
-    pool.for_dynamic(w.len(), chunk, |tid, range| {
+    pool.for_sched(sched, w.len(), chunk, |tid, range| {
         par::faults::fire("d2gc.color", tid);
         scratch.with(tid, |ctx| {
-            for &wv in &w[range] {
+            let items = &w[range];
+            for (k, &wv) in items.iter().enumerate() {
+                if let Some(&next) = items.get(k + crate::vertex::PREFETCH_AHEAD) {
+                    g.prefetch_nbor(next as usize);
+                }
                 let wu = wv as usize;
                 ctx.fb.advance();
                 for &u in g.nbor(wu) {
@@ -52,20 +59,26 @@ pub fn color_workqueue_vertex<F: ForbiddenSet>(
 
 /// Vertex-based conflict detection: `w` loses (is re-queued) if any vertex
 /// within distance 2 carries the same color and has a smaller id.
-pub fn remove_conflicts_vertex<F: ForbiddenSet>(
-    g: &Graph,
+#[allow(clippy::too_many_arguments)] // mirrors the paper kernel's parameter list
+pub fn remove_conflicts_vertex<F: ForbiddenSet, I: CsrIndex>(
+    g: &Graph<I>,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
+    sched: Sched,
     eager: Option<&SharedQueue>,
-    scratch: &mut ThreadScratch<ThreadCtx<F>>,
+    scratch: &mut ThreadScratch<ThreadCtx<F, I>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
-    pool.for_dynamic(w.len(), chunk, |tid, range| {
+    let scratch_ref: &ThreadScratch<ThreadCtx<F, I>> = scratch;
+    pool.for_sched(sched, w.len(), chunk, |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
-            for &wv in &w[range] {
+            let items = &w[range];
+            for (k, &wv) in items.iter().enumerate() {
+                if let Some(&next) = items.get(k + crate::vertex::PREFETCH_AHEAD) {
+                    g.prefetch_nbor(next as usize);
+                }
                 let wu = wv as usize;
                 let cw = colors.get(wu);
                 debug_assert_ne!(cw, UNCOLORED);
@@ -124,15 +137,15 @@ mod tests {
         ))
     }
 
-    fn run_until_valid(g: &Graph, pool: &Pool) -> Vec<i32> {
+    fn run_until_valid(g: &Graph, pool: &Pool, sched: Sched) -> Vec<i32> {
         let colors = Colors::new(g.n_vertices());
         let mut sc: ThreadScratch<ThreadCtx> =
             ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(16));
         let mut w: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let mut rounds = 0;
         while !w.is_empty() {
-            color_workqueue_vertex(g, &w, &colors, pool, 2, Balance::Unbalanced, &sc);
-            w = remove_conflicts_vertex(g, &w, &colors, pool, 2, None, &mut sc);
+            color_workqueue_vertex(g, &w, &colors, pool, 2, sched, Balance::Unbalanced, &sc);
+            w = remove_conflicts_vertex(g, &w, &colors, pool, 2, sched, None, &mut sc);
             rounds += 1;
             assert!(rounds < 100);
         }
@@ -142,7 +155,7 @@ mod tests {
     #[test]
     fn cycle_single_thread() {
         let g = cycle6();
-        let colors = run_until_valid(&g, &Pool::new(1));
+        let colors = run_until_valid(&g, &Pool::new(1), Sched::Dynamic);
         verify_d2gc(&g, &colors).unwrap();
         // C6 at distance 2 needs exactly 3 colors.
         let k = crate::metrics::count_distinct_colors(&colors);
@@ -152,8 +165,10 @@ mod tests {
     #[test]
     fn cycle_parallel() {
         let g = cycle6();
-        let colors = run_until_valid(&g, &Pool::new(4));
-        verify_d2gc(&g, &colors).unwrap();
+        for sched in Sched::all() {
+            let colors = run_until_valid(&g, &Pool::new(4), sched);
+            verify_d2gc(&g, &colors).unwrap();
+        }
     }
 
     #[test]
@@ -168,8 +183,12 @@ mod tests {
         let mut w: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let mut rounds = 0;
         while !w.is_empty() {
-            color_workqueue_vertex(&g, &w, &colors, &pool, 4, Balance::Unbalanced, &sc);
-            w = remove_conflicts_vertex(&g, &w, &colors, &pool, 4, Some(&shared), &mut sc);
+            color_workqueue_vertex(
+                &g, &w, &colors, &pool, 4, Sched::Stealing, Balance::Unbalanced, &sc,
+            );
+            w = remove_conflicts_vertex(
+                &g, &w, &colors, &pool, 4, Sched::Stealing, Some(&shared), &mut sc,
+            );
             rounds += 1;
             assert!(rounds < 100);
         }

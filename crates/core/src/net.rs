@@ -9,7 +9,8 @@
 //! are scanning — which the conflict-removal iterations repair.
 
 use graph::BipartiteGraph;
-use par::{Pool, ThreadScratch};
+use par::{Pool, Sched, ThreadScratch};
+use sparse::CsrIndex;
 
 use crate::ctx::ThreadCtx;
 use crate::forbidden::ForbiddenSet;
@@ -46,37 +47,39 @@ pub enum NetColoringVariant {
 ///
 /// `balance` applies the B1/B2 start-color policies to the net's local
 /// color run (the paper: "the net-based variants are also similar").
-pub fn color_workqueue_net<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+pub fn color_workqueue_net<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     colors: &Colors,
     pool: &Pool,
+    sched: Sched,
     variant: NetColoringVariant,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
     match variant {
         NetColoringVariant::SinglePassFirstFit => {
-            color_net_single_pass(g, colors, pool, scratch, false)
+            color_net_single_pass(g, colors, pool, sched, scratch, false)
         }
         NetColoringVariant::SinglePassReverse => {
-            color_net_single_pass(g, colors, pool, scratch, true)
+            color_net_single_pass(g, colors, pool, sched, scratch, true)
         }
         NetColoringVariant::TwoPassReverse => {
-            color_net_two_pass(g, colors, pool, scratch, balance)
+            color_net_two_pass(g, colors, pool, sched, scratch, balance)
         }
     }
 }
 
 /// Algorithm 6 (and its reverse-fit variant): one pass over each pin list,
 /// recoloring on the spot.
-fn color_net_single_pass<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+fn color_net_single_pass<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    sched: Sched,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
     reverse: bool,
 ) {
-    pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
+    pool.for_sched(sched, g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
             for v in range {
@@ -110,14 +113,15 @@ fn color_net_single_pass<F: ForbiddenSet>(
 /// Algorithm 8: mark forbidden colors and collect `W_local` in a first
 /// pass, then color `W_local` with reverse first-fit (or the B1/B2
 /// adaptation) in a second pass.
-fn color_net_two_pass<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+fn color_net_two_pass<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    sched: Sched,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
     balance: Balance,
 ) {
-    pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
+    pool.for_sched(sched, g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
             for v in range {
@@ -176,13 +180,14 @@ fn color_net_two_pass<F: ForbiddenSet>(
 /// later pins with the same color are uncolored (`c[u] ← −1`). Detects all
 /// conflicts in `O(|V| + |E|)` but "may remove more colorings than
 /// required" — the optimism the paper accepts.
-pub fn remove_conflicts_net<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+pub fn remove_conflicts_net<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     colors: &Colors,
     pool: &Pool,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    sched: Sched,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
-    pool.for_dynamic(g.n_nets(), NET_CHUNK, |tid, range| {
+    pool.for_sched(sched, g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
         scratch.with(tid, |ctx| {
             for v in range {
@@ -207,13 +212,13 @@ pub fn remove_conflicts_net<F: ForbiddenSet>(
 ///
 /// Static partitioning with per-thread buffers merged in thread order keeps
 /// the result deterministic for a fixed coloring state.
-pub fn collect_uncolored<F: ForbiddenSet>(
+pub fn collect_uncolored<F: ForbiddenSet, I: CsrIndex>(
     order: &[u32],
     colors: &Colors,
     pool: &Pool,
-    scratch: &mut ThreadScratch<ThreadCtx<F>>,
+    scratch: &mut ThreadScratch<ThreadCtx<F, I>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
+    let scratch_ref: &ThreadScratch<ThreadCtx<F, I>> = scratch;
     pool.for_static(order.len(), |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
@@ -256,8 +261,10 @@ mod tests {
         let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let mut rounds = 0;
         loop {
-            color_workqueue_net(g, &colors, pool, variant, Balance::Unbalanced, &sc);
-            remove_conflicts_net(g, &colors, pool, &sc);
+            color_workqueue_net(
+                g, &colors, pool, Sched::Dynamic, variant, Balance::Unbalanced, &sc,
+            );
+            remove_conflicts_net(g, &colors, pool, Sched::Dynamic, &sc);
             let w = collect_uncolored(&order, &colors, pool, &mut sc);
             if w.is_empty() {
                 break;
@@ -309,6 +316,7 @@ mod tests {
             &g,
             &colors,
             &pool,
+            Sched::Dynamic,
             NetColoringVariant::TwoPassReverse,
             Balance::Unbalanced,
             &sc,
@@ -329,7 +337,7 @@ mod tests {
         colors.set(1, 5);
         colors.set(2, 3);
         let sc = scratch(1);
-        remove_conflicts_net(&g, &colors, &pool, &sc);
+        remove_conflicts_net(&g, &colors, &pool, Sched::Dynamic, &sc);
         assert_eq!(colors.get(0), 5, "first pin keeps the color");
         assert_eq!(colors.get(1), UNCOLORED, "duplicate uncolored");
         assert_eq!(colors.get(2), 3);
@@ -362,6 +370,7 @@ mod tests {
             &g,
             &colors,
             &pool,
+            Sched::Dynamic,
             NetColoringVariant::TwoPassReverse,
             Balance::Unbalanced,
             &sc,
@@ -386,19 +395,20 @@ mod tests {
                 &g,
                 &colors,
                 &pool,
+                Sched::Stealing,
                 NetColoringVariant::TwoPassReverse,
                 balance,
                 &sc,
             );
-            remove_conflicts_net(&g, &colors, &pool, &sc);
+            remove_conflicts_net(&g, &colors, &pool, Sched::Stealing, &sc);
             let mut w = collect_uncolored(&order, &colors, &pool, &mut sc);
             let mut rounds = 0;
             while !w.is_empty() {
                 crate::vertex::color_workqueue_vertex(
-                    &g, &w, &colors, &pool, 4, balance, &sc,
+                    &g, &w, &colors, &pool, 4, Sched::Stealing, balance, &sc,
                 );
                 w = crate::vertex::remove_conflicts_vertex(
-                    &g, &w, &colors, &pool, 4, None, &mut sc,
+                    &g, &w, &colors, &pool, 4, Sched::Stealing, None, &mut sc,
                 );
                 rounds += 1;
                 assert!(rounds < 100);

@@ -4,6 +4,7 @@ use std::time::{Duration, Instant};
 
 use graph::BipartiteGraph;
 use par::{Pool, ThreadScratch};
+use sparse::CsrIndex;
 
 use crate::ctx::ThreadCtx;
 use crate::error::{validate_order, ColoringError};
@@ -49,8 +50,8 @@ impl Default for RunnerOpts {
 /// abort the run: the partial state is repaired sequentially and the
 /// result is flagged via [`ColoringResult::degraded`]. The coloring is
 /// valid and complete either way.
-pub fn color_bgpc(
-    g: &BipartiteGraph,
+pub fn color_bgpc<I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
@@ -60,8 +61,8 @@ pub fn color_bgpc(
 
 /// [`color_bgpc`] with an order validated against the vertex set — the
 /// entry point for untrusted inputs (CLI, external order files).
-pub fn try_color_bgpc(
-    g: &BipartiteGraph,
+pub fn try_color_bgpc<I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
@@ -84,25 +85,25 @@ const DENSE_NET_THRESHOLD: usize = 128;
 /// by default, the per-color [`crate::StampSet`] when the largest net
 /// exceeds [`DENSE_NET_THRESHOLD`] (insert-dominated regime). Use
 /// [`color_bgpc_with_set`] to force a representation.
-pub fn color_bgpc_with_opts(
-    g: &BipartiteGraph,
+pub fn color_bgpc_with_opts<I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
     opts: RunnerOpts,
 ) -> ColoringResult {
     if g.max_net_size() > DENSE_NET_THRESHOLD {
-        color_bgpc_with_set::<crate::StampSet>(g, order, schedule, pool, opts)
+        color_bgpc_with_set::<crate::StampSet, I>(g, order, schedule, pool, opts)
     } else {
-        color_bgpc_with_set::<crate::BitStampSet>(g, order, schedule, pool, opts)
+        color_bgpc_with_set::<crate::BitStampSet, I>(g, order, schedule, pool, opts)
     }
 }
 
 /// [`color_bgpc`] generic over the forbidden-set representation `F` —
 /// the benchmark harness runs the same driver with [`crate::StampSet`]
 /// and [`crate::BitStampSet`] to measure the representation in isolation.
-pub fn color_bgpc_with_set<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     order: &[u32],
     schedule: &Schedule,
     pool: &Pool,
@@ -111,7 +112,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet>(
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n, "order must cover every vertex");
     let colors = Colors::new(n);
-    let mut scratch: ThreadScratch<ThreadCtx<F>> = ThreadScratch::new(pool.threads(), |_| {
+    let mut scratch: ThreadScratch<ThreadCtx<F, I>> = ThreadScratch::new(pool.threads(), |_| {
         ThreadCtx::new(g.max_net_size() + 64)
     });
     // Eager shared queue, only allocated when the schedule needs it.
@@ -158,6 +159,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet>(
                 &colors,
                 pool,
                 schedule.chunk,
+                schedule.sched,
                 schedule.balance,
                 &scratch,
             ),
@@ -165,6 +167,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet>(
                 g,
                 &colors,
                 pool,
+                schedule.sched,
                 schedule.net_variant,
                 schedule.balance,
                 &scratch,
@@ -200,11 +203,12 @@ pub fn color_bgpc_with_set<F: ForbiddenSet>(
                 &colors,
                 pool,
                 schedule.chunk,
+                schedule.sched,
                 eager_queue.as_ref(),
                 &mut scratch,
             ),
             PhaseKind::Net => {
-                net::remove_conflicts_net(g, &colors, pool, &scratch);
+                net::remove_conflicts_net(g, &colors, pool, schedule.sched, &scratch);
                 net::collect_uncolored(order, &colors, pool, &mut scratch)
             }
         });
@@ -259,7 +263,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet>(
 
 /// Colors `w` sequentially with first-fit against the *current* state —
 /// conflict-free by construction.
-fn sequential_fallback(g: &BipartiteGraph, w: &[u32], colors: &Colors) {
+fn sequential_fallback<I: CsrIndex>(g: &BipartiteGraph<I>, w: &[u32], colors: &Colors) {
     let mut fb = crate::BitStampSet::with_capacity(g.max_net_size() + 64);
     for &wv in w {
         let wu = wv as usize;
@@ -288,7 +292,7 @@ fn sequential_fallback(g: &BipartiteGraph, w: &[u32], colors: &Colors) {
 /// `order`. Each recolored vertex avoids every color currently visible in
 /// its distance-2 neighborhood, so the final coloring is valid regardless
 /// of which writes the faulted phase completed.
-fn repair_sequential(g: &BipartiteGraph, order: &[u32], colors: &Colors) {
+fn repair_sequential<I: CsrIndex>(g: &BipartiteGraph<I>, order: &[u32], colors: &Colors) {
     let n = g.n_vertices();
     let mut max_c: crate::Color = -1;
     for u in 0..n {

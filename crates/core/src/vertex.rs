@@ -6,12 +6,19 @@
 //! the net-based phases of [`crate::net`] attack.
 
 use graph::BipartiteGraph;
-use par::{Pool, ThreadScratch};
+use par::{Pool, Sched, ThreadScratch};
+use sparse::CsrIndex;
 
 use crate::ctx::ThreadCtx;
 use crate::forbidden::ForbiddenSet;
 use crate::workqueue::{merge_local_queues, SharedQueue};
 use crate::{Balance, Colors, UNCOLORED};
+
+/// How many queue positions ahead the gather loops hint the cache about
+/// the next vertex's adjacency row. The queue entries are random vertex
+/// ids, so without the hint every `nets(w)` access is a cold indirect
+/// load; four items covers the gather latency without thrashing L1.
+pub(crate) const PREFETCH_AHEAD: usize = 4;
 
 /// Algorithm 4 — optimistic coloring of the work queue `w`, vertex-based.
 ///
@@ -19,22 +26,32 @@ use crate::{Balance, Colors, UNCOLORED};
 /// for [`Balance::Unbalanced`]) against the colors currently visible in its
 /// distance-2 neighborhood. Races with concurrent writers are expected and
 /// repaired by the following conflict-removal phase.
-pub fn color_workqueue_vertex<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+#[allow(clippy::too_many_arguments)] // mirrors the paper kernel's parameter list
+pub fn color_workqueue_vertex<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
+    sched: Sched,
     balance: Balance,
-    scratch: &ThreadScratch<ThreadCtx<F>>,
+    scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
-    pool.for_dynamic(w.len(), chunk, |tid, range| {
+    pool.for_sched(sched, w.len(), chunk, |tid, range| {
         par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
-            for &wv in &w[range] {
+            let items = &w[range];
+            for (k, &wv) in items.iter().enumerate() {
+                if let Some(&next) = items.get(k + PREFETCH_AHEAD) {
+                    g.prefetch_nets(next as usize);
+                }
                 let wu = wv as usize;
                 ctx.fb.advance();
-                for &v in g.nets(wu) {
+                let nets = g.nets(wu);
+                for (j, &v) in nets.iter().enumerate() {
+                    if let Some(&vnext) = nets.get(j + 1) {
+                        g.prefetch_vtxs(vnext as usize);
+                    }
                     for &u in g.vtxs(v as usize) {
                         if u != wv {
                             let cu = colors.get(u as usize);
@@ -62,20 +79,26 @@ pub fn color_workqueue_vertex<F: ForbiddenSet>(
 /// `fetch_add` per 64 conflicts instead of one per conflict); otherwise the
 /// 64D lazy strategy collects conflicts in thread-private queues merged
 /// after the join. Returns `W_next`.
-pub fn remove_conflicts_vertex<F: ForbiddenSet>(
-    g: &BipartiteGraph,
+#[allow(clippy::too_many_arguments)] // mirrors the paper kernel's parameter list
+pub fn remove_conflicts_vertex<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
     w: &[u32],
     colors: &Colors,
     pool: &Pool,
     chunk: usize,
+    sched: Sched,
     eager: Option<&SharedQueue>,
-    scratch: &mut ThreadScratch<ThreadCtx<F>>,
+    scratch: &mut ThreadScratch<ThreadCtx<F, I>>,
 ) -> Vec<u32> {
-    let scratch_ref: &ThreadScratch<ThreadCtx<F>> = scratch;
-    pool.for_dynamic(w.len(), chunk, |tid, range| {
+    let scratch_ref: &ThreadScratch<ThreadCtx<F, I>> = scratch;
+    pool.for_sched(sched, w.len(), chunk, |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
-            for &wv in &w[range] {
+            let items = &w[range];
+            for (k, &wv) in items.iter().enumerate() {
+                if let Some(&next) = items.get(k + PREFETCH_AHEAD) {
+                    g.prefetch_nets(next as usize);
+                }
                 let wu = wv as usize;
                 let cw = colors.get(wu);
                 debug_assert_ne!(cw, UNCOLORED, "conflict scan on uncolored vertex");
@@ -117,7 +140,7 @@ mod tests {
         BipartiteGraph::from_matrix(&Csr::from_rows(6, &[vec![0, 1, 2, 3, 4, 5]]))
     }
 
-    fn run_until_valid(g: &BipartiteGraph, pool: &Pool, eager: bool) -> Vec<i32> {
+    fn run_until_valid(g: &BipartiteGraph, pool: &Pool, eager: bool, sched: Sched) -> Vec<i32> {
         let n = g.n_vertices();
         let colors = Colors::new(n);
         let mut scratch: ThreadScratch<ThreadCtx> =
@@ -126,13 +149,14 @@ mod tests {
         let mut w: Vec<u32> = (0..n as u32).collect();
         let mut guard = 0;
         while !w.is_empty() {
-            color_workqueue_vertex(g, &w, &colors, pool, 1, Balance::Unbalanced, &scratch);
+            color_workqueue_vertex(g, &w, &colors, pool, 1, sched, Balance::Unbalanced, &scratch);
             w = remove_conflicts_vertex(
                 g,
                 &w,
                 &colors,
                 pool,
                 1,
+                sched,
                 eager.then_some(&shared),
                 &mut scratch,
             );
@@ -146,26 +170,33 @@ mod tests {
     fn sequential_team_colors_clique_without_conflicts() {
         let g = clique_graph();
         let pool = Pool::new(1);
-        let colors = run_until_valid(&g, &pool, false);
-        verify_bgpc(&g, &colors).unwrap();
-        // Single thread first-fit on one net: colors are 0..6 in order.
-        assert_eq!(colors, vec![0, 1, 2, 3, 4, 5]);
+        // Single thread first-fit on one net: colors are 0..6 in order,
+        // whichever chunk scheduler claims the (single-block) range.
+        for sched in Sched::all() {
+            let colors = run_until_valid(&g, &pool, false, sched);
+            verify_bgpc(&g, &colors).unwrap();
+            assert_eq!(colors, vec![0, 1, 2, 3, 4, 5], "{sched}");
+        }
     }
 
     #[test]
     fn parallel_team_converges_on_clique_lazy() {
         let g = clique_graph();
         let pool = Pool::new(4);
-        let colors = run_until_valid(&g, &pool, false);
-        verify_bgpc(&g, &colors).unwrap();
+        for sched in Sched::all() {
+            let colors = run_until_valid(&g, &pool, false, sched);
+            verify_bgpc(&g, &colors).unwrap();
+        }
     }
 
     #[test]
     fn parallel_team_converges_on_clique_eager() {
         let g = clique_graph();
         let pool = Pool::new(4);
-        let colors = run_until_valid(&g, &pool, true);
-        verify_bgpc(&g, &colors).unwrap();
+        for sched in Sched::all() {
+            let colors = run_until_valid(&g, &pool, true, sched);
+            verify_bgpc(&g, &colors).unwrap();
+        }
     }
 
     #[test]
@@ -177,16 +208,23 @@ mod tests {
         let mut scratch: ThreadScratch<ThreadCtx> =
             ThreadScratch::new(2, |_| ThreadCtx::new(8));
         let w: Vec<u32> = vec![0, 1, 2, 3];
-        color_workqueue_vertex(&g, &w, &colors, &pool, 1, Balance::Unbalanced, &scratch);
-        let wnext =
-            remove_conflicts_vertex(&g, &w, &colors, &pool, 1, None, &mut scratch);
+        color_workqueue_vertex(
+            &g, &w, &colors, &pool, 1, Sched::Dynamic, Balance::Unbalanced, &scratch,
+        );
+        let wnext = remove_conflicts_vertex(
+            &g, &w, &colors, &pool, 1, Sched::Dynamic, None, &mut scratch,
+        );
         // single-net-per-vertex, small graph: any schedule should already
         // be conflict-free or nearly so; loop to completion for safety.
         let mut w = wnext;
         let mut rounds = 0;
         while !w.is_empty() {
-            color_workqueue_vertex(&g, &w, &colors, &pool, 1, Balance::Unbalanced, &scratch);
-            w = remove_conflicts_vertex(&g, &w, &colors, &pool, 1, None, &mut scratch);
+            color_workqueue_vertex(
+                &g, &w, &colors, &pool, 1, Sched::Dynamic, Balance::Unbalanced, &scratch,
+            );
+            w = remove_conflicts_vertex(
+                &g, &w, &colors, &pool, 1, Sched::Dynamic, None, &mut scratch,
+            );
             rounds += 1;
             assert!(rounds < 10);
         }
@@ -204,8 +242,9 @@ mod tests {
         colors.set(1, 0);
         let mut scratch: ThreadScratch<ThreadCtx> =
             ThreadScratch::new(1, |_| ThreadCtx::new(4));
-        let wnext =
-            remove_conflicts_vertex(&g, &[0, 1], &colors, &pool, 1, None, &mut scratch);
+        let wnext = remove_conflicts_vertex(
+            &g, &[0, 1], &colors, &pool, 1, Sched::Dynamic, None, &mut scratch,
+        );
         assert_eq!(wnext, vec![1]);
         // Winner keeps its color; loser's stale color remains until the
         // next coloring phase (paper semantics).
@@ -225,8 +264,12 @@ mod tests {
             let mut w: Vec<u32> = (0..g.n_vertices() as u32).collect();
             let mut rounds = 0;
             while !w.is_empty() {
-                color_workqueue_vertex(&g, &w, &colors, &pool, 4, balance, &scratch);
-                w = remove_conflicts_vertex(&g, &w, &colors, &pool, 4, None, &mut scratch);
+                color_workqueue_vertex(
+                    &g, &w, &colors, &pool, 4, Sched::Stealing, balance, &scratch,
+                );
+                w = remove_conflicts_vertex(
+                    &g, &w, &colors, &pool, 4, Sched::Stealing, None, &mut scratch,
+                );
                 rounds += 1;
                 assert!(rounds < 100);
             }

@@ -16,7 +16,7 @@ use bgpc::verify::{verify_bgpc, verify_d2gc};
 use bgpc::{color_bgpc, color_bgpc_with_opts, ColoringResult, RunnerOpts, Schedule};
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::faults::{self, FaultAction};
-use par::Pool;
+use par::{Pool, Sched};
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
@@ -53,14 +53,18 @@ fn bgpc_color_phase_panic_recovers_on_every_schedule() {
     let g = bgpc_instance();
     let order = Ordering::Natural.vertex_order_bgpc(&g);
     let pool = Pool::new(4);
-    for schedule in Schedule::all() {
-        faults::arm("bgpc.color", FaultAction::Panic);
-        let r = color_bgpc(&g, &order, &schedule, &pool);
-        faults::reset();
-        assert_degraded_panic(&r, FailedPhase::Color, &schedule.name());
-        verify_bgpc(&g, &r.colors)
-            .unwrap_or_else(|e| panic!("{}: repaired coloring invalid: {e}", schedule.name()));
-        assert!(r.num_colors >= g.max_net_size(), "{}", &schedule.name());
+    for base in Schedule::all() {
+        for sched in Sched::all() {
+            let schedule = base.clone().with_sched(sched);
+            faults::arm("bgpc.color", FaultAction::Panic);
+            let r = color_bgpc(&g, &order, &schedule, &pool);
+            faults::reset();
+            let ctx = format!("{}/{sched}", schedule.name());
+            assert_degraded_panic(&r, FailedPhase::Color, &ctx);
+            verify_bgpc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{ctx}: repaired coloring invalid: {e}"));
+            assert!(r.num_colors >= g.max_net_size(), "{ctx}");
+        }
     }
 }
 
@@ -70,13 +74,17 @@ fn bgpc_conflict_phase_panic_recovers_on_every_schedule() {
     let g = bgpc_instance();
     let order = Ordering::Natural.vertex_order_bgpc(&g);
     let pool = Pool::new(4);
-    for schedule in Schedule::all() {
-        faults::arm("bgpc.conflict", FaultAction::Panic);
-        let r = color_bgpc(&g, &order, &schedule, &pool);
-        faults::reset();
-        assert_degraded_panic(&r, FailedPhase::Conflict, &schedule.name());
-        verify_bgpc(&g, &r.colors)
-            .unwrap_or_else(|e| panic!("{}: repaired coloring invalid: {e}", schedule.name()));
+    for base in Schedule::all() {
+        for sched in Sched::all() {
+            let schedule = base.clone().with_sched(sched);
+            faults::arm("bgpc.conflict", FaultAction::Panic);
+            let r = color_bgpc(&g, &order, &schedule, &pool);
+            faults::reset();
+            let ctx = format!("{}/{sched}", schedule.name());
+            assert_degraded_panic(&r, FailedPhase::Conflict, &ctx);
+            verify_bgpc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{ctx}: repaired coloring invalid: {e}"));
+        }
     }
 }
 
@@ -144,13 +152,17 @@ fn d2gc_color_phase_panic_recovers_on_schedule_set() {
     let g = d2gc_instance();
     let order = Ordering::Natural.vertex_order_d2(&g);
     let pool = Pool::new(4);
-    for schedule in Schedule::d2gc_set() {
-        faults::arm("d2gc.color", FaultAction::Panic);
-        let r = color_d2gc(&g, &order, &schedule, &pool);
-        faults::reset();
-        assert_degraded_panic(&r, FailedPhase::Color, &schedule.name());
-        verify_d2gc(&g, &r.colors)
-            .unwrap_or_else(|e| panic!("{}: repaired coloring invalid: {e}", schedule.name()));
+    for base in Schedule::d2gc_set() {
+        for sched in Sched::all() {
+            let schedule = base.clone().with_sched(sched);
+            faults::arm("d2gc.color", FaultAction::Panic);
+            let r = color_d2gc(&g, &order, &schedule, &pool);
+            faults::reset();
+            let ctx = format!("{}/{sched}", schedule.name());
+            assert_degraded_panic(&r, FailedPhase::Color, &ctx);
+            verify_d2gc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{ctx}: repaired coloring invalid: {e}"));
+        }
     }
 }
 
@@ -160,13 +172,17 @@ fn d2gc_conflict_phase_panic_recovers_on_schedule_set() {
     let g = d2gc_instance();
     let order = Ordering::Natural.vertex_order_d2(&g);
     let pool = Pool::new(4);
-    for schedule in Schedule::d2gc_set() {
-        faults::arm("d2gc.conflict", FaultAction::Panic);
-        let r = color_d2gc(&g, &order, &schedule, &pool);
-        faults::reset();
-        assert_degraded_panic(&r, FailedPhase::Conflict, &schedule.name());
-        verify_d2gc(&g, &r.colors)
-            .unwrap_or_else(|e| panic!("{}: repaired coloring invalid: {e}", schedule.name()));
+    for base in Schedule::d2gc_set() {
+        for sched in Sched::all() {
+            let schedule = base.clone().with_sched(sched);
+            faults::arm("d2gc.conflict", FaultAction::Panic);
+            let r = color_d2gc(&g, &order, &schedule, &pool);
+            faults::reset();
+            let ctx = format!("{}/{sched}", schedule.name());
+            assert_degraded_panic(&r, FailedPhase::Conflict, &ctx);
+            verify_d2gc(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{ctx}: repaired coloring invalid: {e}"));
+        }
     }
 }
 
@@ -217,7 +233,7 @@ fn both_forbidden_set_representations_repair_after_faults() {
     let opts = RunnerOpts::default();
     for schedule in [Schedule::v_v(), Schedule::n1_n2()] {
         faults::arm("bgpc.conflict", FaultAction::Panic);
-        let r_bits = bgpc::color_bgpc_with_set::<bgpc::BitStampSet>(
+        let r_bits = bgpc::color_bgpc_with_set::<bgpc::BitStampSet, _>(
             &g, &order, &schedule, &pool, opts,
         );
         faults::reset();
@@ -227,7 +243,7 @@ fn both_forbidden_set_representations_repair_after_faults() {
 
         faults::arm("bgpc.conflict", FaultAction::Panic);
         let r_spec =
-            bgpc::color_bgpc_with_set::<bgpc::StampSet>(&g, &order, &schedule, &pool, opts);
+            bgpc::color_bgpc_with_set::<bgpc::StampSet, _>(&g, &order, &schedule, &pool, opts);
         faults::reset();
         assert_degraded_panic(&r_spec, FailedPhase::Conflict, "StampSet");
         verify_bgpc(&g, &r_spec.colors)
@@ -236,7 +252,7 @@ fn both_forbidden_set_representations_repair_after_faults() {
     let d2 = d2gc_instance();
     let d2_order = Ordering::Natural.vertex_order_d2(&d2);
     faults::arm("d2gc.color", FaultAction::Panic);
-    let r = bgpc::d2gc::color_d2gc_with_set::<bgpc::StampSet>(
+    let r = bgpc::d2gc::color_d2gc_with_set::<bgpc::StampSet, _>(
         &d2,
         &d2_order,
         &Schedule::n1_n2(),
@@ -246,6 +262,28 @@ fn both_forbidden_set_representations_repair_after_faults() {
     faults::reset();
     assert_degraded_panic(&r, FailedPhase::Color, "D2GC StampSet");
     verify_d2gc(&d2, &r.colors).unwrap();
+}
+
+#[test]
+fn stealing_worker_panic_mid_region_recovers() {
+    let _g = serial();
+    // Same shape as the dynamic-cursor worker test, but with per-worker
+    // blocks: every thread owns a slice of the queue, so the targeted
+    // thread is guaranteed to claim work and fire the point.
+    let g = BipartiteGraph::from_matrix(&sparse::gen::bipartite_uniform(4000, 2000, 40000, 7));
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new(4);
+    let schedule = Schedule::v_v_64d().with_sched(Sched::Stealing);
+    faults::arm_with("bgpc.color", FaultAction::Panic, 1, Some(2));
+    let r = color_bgpc(&g, &order, &schedule, &pool);
+    let fired = faults::hits("bgpc.color") > 0;
+    faults::reset();
+    assert!(fired, "stealing partitions give thread 2 work up front");
+    assert_degraded_panic(&r, FailedPhase::Color, "stealing worker 2");
+    verify_bgpc(&g, &r.colors).unwrap();
+    let clean = color_bgpc(&g, &order, &schedule, &pool);
+    assert!(!clean.is_degraded(), "pool must recover after containment");
+    verify_bgpc(&g, &clean.colors).unwrap();
 }
 
 #[test]

@@ -12,8 +12,9 @@ use std::fmt;
 pub enum GraphError {
     /// The pattern violates CSR invariants: out-of-bounds, duplicate or
     /// unsorted column indices, or inconsistent row pointers. The payload
-    /// is the first violated invariant.
-    InvalidPattern(String),
+    /// is the first violated invariant, structured so callers can tell an
+    /// out-of-range adjacency index from a malformed row pointer.
+    InvalidPattern(sparse::CsrError),
     /// A dimension does not fit the `u32` index space the adjacency
     /// structures use.
     DimensionOverflow {
@@ -60,7 +61,9 @@ impl std::error::Error for GraphError {}
 
 /// Validates that a pattern's dimensions fit `u32` indices and that its
 /// CSR invariants hold (no out-of-bounds or duplicate columns).
-pub(crate) fn validate_pattern(matrix: &sparse::Csr) -> Result<(), GraphError> {
+pub(crate) fn validate_pattern<I: sparse::CsrIndex>(
+    matrix: &sparse::Csr<I>,
+) -> Result<(), GraphError> {
     if matrix.nrows() > u32::MAX as usize {
         return Err(GraphError::DimensionOverflow {
             what: "rows",

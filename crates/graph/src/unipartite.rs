@@ -1,15 +1,16 @@
 //! The D2GC input structure.
 
-use sparse::Csr;
+use sparse::{Csr, CsrIndex};
 
 /// A simple undirected graph in CSR form (no self-loops, symmetric
-/// adjacency) — the D2GC input.
+/// adjacency) — the D2GC input. Parameterized by the CSR row-pointer
+/// width `I` exactly like [`Csr`] (`u32` default, `u64` fallback).
 #[derive(Clone, Debug)]
-pub struct Graph {
-    adj: Csr,
+pub struct Graph<I: CsrIndex = u32> {
+    adj: Csr<I>,
 }
 
-impl Graph {
+impl<I: CsrIndex> Graph<I> {
     /// Builds a graph from a square, structurally symmetric pattern;
     /// diagonal entries are dropped.
     ///
@@ -17,7 +18,7 @@ impl Graph {
     /// Panics if the pattern is not square or not symmetric (after
     /// diagonal removal). Use [`Graph::from_square_matrix`] to symmetrize
     /// arbitrary square inputs.
-    pub fn from_symmetric_matrix(matrix: &Csr) -> Self {
+    pub fn from_symmetric_matrix(matrix: &Csr<I>) -> Self {
         let adj = matrix.strip_diagonal();
         assert!(
             adj.is_structurally_symmetric(),
@@ -28,7 +29,7 @@ impl Graph {
 
     /// Builds a graph from any square pattern by symmetrizing `A ∪ Aᵀ`
     /// and dropping the diagonal.
-    pub fn from_square_matrix(matrix: &Csr) -> Self {
+    pub fn from_square_matrix(matrix: &Csr<I>) -> Self {
         Self {
             adj: matrix.symmetrize().strip_diagonal(),
         }
@@ -37,7 +38,7 @@ impl Graph {
     /// Validating constructor for untrusted patterns: rejects malformed
     /// CSR structure, oversized dimensions, non-square shapes and (after
     /// diagonal removal) asymmetric adjacency with a structured error.
-    pub fn try_from_symmetric_matrix(matrix: &Csr) -> Result<Self, crate::GraphError> {
+    pub fn try_from_symmetric_matrix(matrix: &Csr<I>) -> Result<Self, crate::GraphError> {
         crate::error::validate_pattern(matrix)?;
         if matrix.nrows() != matrix.ncols() {
             return Err(crate::GraphError::NotSquare {
@@ -54,7 +55,7 @@ impl Graph {
 
     /// Builds directly from an adjacency CSR that already satisfies the
     /// invariants (validated in debug builds).
-    pub fn from_adjacency(adj: Csr) -> Self {
+    pub fn from_adjacency(adj: Csr<I>) -> Self {
         debug_assert!(adj.is_structurally_symmetric());
         debug_assert!((0..adj.nrows()).all(|i| !adj.contains(i, i as u32)));
         Self { adj }
@@ -110,8 +111,15 @@ impl Graph {
         }
     }
 
+    /// Hints the cache to pull `v`'s neighbor list (see
+    /// [`Csr::prefetch_row`]).
+    #[inline(always)]
+    pub fn prefetch_nbor(&self, v: usize) {
+        self.adj.prefetch_row(v);
+    }
+
     /// The adjacency pattern.
-    pub fn adjacency(&self) -> &Csr {
+    pub fn adjacency(&self) -> &Csr<I> {
         &self.adj
     }
 }

@@ -17,6 +17,10 @@
 //!   (`schedule(dynamic, chunk)`).
 //! * [`Pool::for_static`] iterates with contiguous block partitioning
 //!   (`schedule(static)`).
+//! * [`Pool::for_stealing`] iterates with per-worker blocks plus
+//!   randomized half-stealing ([`StealRanges`]) — same exactly-once
+//!   contract as `for_dynamic` without the shared-cursor cache line —
+//!   and [`Pool::for_sched`] dispatches on a [`Sched`] policy value.
 //! * [`ThreadScratch`] provides cache-padded per-thread workspaces that live
 //!   across parallel regions — the paper's "allocated only once, never reset"
 //!   forbidden-color arrays depend on this.
@@ -45,11 +49,13 @@ pub mod faults;
 mod padded;
 mod pool;
 mod scratch;
+mod steal;
 
 pub use cursor::ChunkCursor;
 pub use padded::CachePadded;
 pub use pool::{contain, Pool, RegionPanic};
 pub use scratch::ThreadScratch;
+pub use steal::{Sched, StealRanges};
 
 /// Returns the number of logical CPUs available to this process.
 ///

@@ -8,6 +8,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use crate::cursor::ChunkCursor;
+use crate::steal::{Sched, StealRanges};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///
@@ -313,6 +314,48 @@ impl Pool {
         });
     }
 
+    /// Parallel for over `0..len` with per-worker blocks and randomized
+    /// work stealing (see [`StealRanges`]).
+    ///
+    /// Observationally equivalent to [`for_dynamic`](Pool::for_dynamic) —
+    /// disjoint chunks covering the range exactly once — but claims hit a
+    /// per-worker cache-padded slot instead of one shared cursor, and a
+    /// drained worker steals half of the largest remaining block. Ranges
+    /// beyond the `u32` packing space fall back to the shared cursor.
+    pub fn for_stealing<F>(&self, len: usize, chunk: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        if len > u32::MAX as usize {
+            return self.for_dynamic(len, chunk, f);
+        }
+        let ranges = StealRanges::new(len, self.threads);
+        self.run(|tid| loop {
+            while let Some(range) = ranges.claim_local(tid, chunk) {
+                f(tid, range);
+            }
+            match ranges.steal(tid, chunk) {
+                Some(range) => f(tid, range),
+                None => break,
+            }
+        });
+    }
+
+    /// Parallel for over `0..len` dispatching on the scheduling policy:
+    /// [`for_dynamic`](Pool::for_dynamic) for [`Sched::Dynamic`],
+    /// [`for_stealing`](Pool::for_stealing) for [`Sched::Stealing`]. Both
+    /// run through [`run`](Pool::run), so `try_run`/[`contain`] fault
+    /// containment applies identically.
+    pub fn for_sched<F>(&self, sched: Sched, len: usize, chunk: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        match sched {
+            Sched::Dynamic => self.for_dynamic(len, chunk, f),
+            Sched::Stealing => self.for_stealing(len, chunk, f),
+        }
+    }
+
     /// Parallel for over `0..len` with contiguous static block partitioning —
     /// the equivalent of `schedule(static)`.
     pub fn for_static<F>(&self, len: usize, f: F)
@@ -494,6 +537,58 @@ mod tests {
         let pool = Pool::new(4);
         pool.for_dynamic(0, 64, |_, _| panic!("must not be called"));
         pool.for_static(0, |_, _| panic!("must not be called"));
+        pool.for_stealing(0, 64, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn for_stealing_covers_range() {
+        let pool = Pool::new(4);
+        let n = 10_007;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_stealing(n, 13, |_tid, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_sched_dispatches_both_policies() {
+        let pool = Pool::new(3);
+        for sched in crate::Sched::all() {
+            let n = 997;
+            let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_sched(sched, n, 8, |_tid, range| {
+                for i in range {
+                    marks[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+                "exactly-once violated under {sched}"
+            );
+        }
+    }
+
+    #[test]
+    fn contain_catches_stealing_region_panic() {
+        let pool = Pool::new(4);
+        let err = contain(|| {
+            pool.for_stealing(1000, 7, |_tid, range| {
+                if range.contains(&500) {
+                    panic!("stealing fault");
+                }
+            });
+        })
+        .expect_err("panic under stealing must be contained");
+        assert!(err.first_message().contains("fault") || err.count() >= 1);
+        // Team and scheduler stay usable for the next region.
+        let total = AtomicUsize::new(0);
+        pool.for_stealing(100, 9, |_, r| {
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 100);
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Work-stealing chunk scheduler.
+//!
+//! The shared [`ChunkCursor`](crate::ChunkCursor) behind
+//! [`Pool::for_dynamic`](crate::Pool::for_dynamic) funnels every claim of
+//! every thread through one atomic counter. At small chunk sizes on large
+//! teams that cache line becomes the bottleneck of the coloring kernels'
+//! hot loop. This module provides the alternative: each worker starts with
+//! a contiguous block of the range (so the common case is an uncontended
+//! CAS on its *own* cache-padded slot) and, once drained, steals half of
+//! the largest remaining block from a victim. Chunk size keeps its meaning
+//! — it is the claim granularity within a block — so the paper's `V-V` vs
+//! `V-V-64` knob carries over unchanged.
+//!
+//! The scheduler is *observationally equivalent* to the cursor: every index
+//! of `0..len` is handed to exactly one `f(tid, range)` invocation. Only
+//! the assignment of indices to threads differs, which the speculative
+//! coloring algorithms tolerate by construction.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::padded::CachePadded;
+
+/// Chunk-scheduling policy for the parallel-for loops of the hot kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Sched {
+    /// Shared-cursor dynamic scheduling (`schedule(dynamic, chunk)`), the
+    /// deterministic-claim-order fallback.
+    #[default]
+    Dynamic,
+    /// Per-worker blocks with randomized work stealing.
+    Stealing,
+}
+
+impl Sched {
+    /// All policies, for benchmark/test matrices.
+    pub fn all() -> [Sched; 2] {
+        [Sched::Dynamic, Sched::Stealing]
+    }
+
+    /// Stable label used in CLI flags and benchmark records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sched::Dynamic => "dynamic",
+            Sched::Stealing => "steal",
+        }
+    }
+
+    /// Parses a label (accepts `dynamic`/`cursor` and `steal`/`stealing`).
+    pub fn from_name(name: &str) -> Option<Sched> {
+        match name {
+            "dynamic" | "cursor" => Some(Sched::Dynamic),
+            "steal" | "stealing" | "work-stealing" => Some(Sched::Stealing),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Sched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Packs a half-open range into one atomic word: `lo << 32 | hi`.
+///
+/// Both bounds must fit `u32`; [`crate::Pool::for_stealing`] falls back to
+/// the shared cursor for longer ranges. Packing makes "claim a chunk" and
+/// "steal the upper half" single CAS operations — no per-slot locks, no
+/// torn lo/hi pairs.
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Weyl-sequence multiplier used to decorrelate victim-scan start offsets.
+const SCAN_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-worker remaining ranges with half-stealing.
+///
+/// Every slot holds one half-open sub-range of `0..len`; the slots'
+/// remaining ranges are pairwise disjoint at all times, and an index
+/// removed from a slot (claimed by its owner) never reappears in any slot.
+/// That invariant is what makes the owner's plain `store` of a freshly
+/// stolen block into its own empty slot safe: a stale CAS by another thief
+/// can only succeed if the slot holds the exact packed value the thief
+/// observed, and a fully-claimed range can never be re-published.
+#[derive(Debug)]
+pub struct StealRanges {
+    slots: Vec<CachePadded<AtomicU64>>,
+}
+
+impl StealRanges {
+    /// Block-partitions `0..len` over `threads` slots (same split as
+    /// `schedule(static)`).
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the `u32` packing space.
+    pub fn new(len: usize, threads: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "StealRanges requires len < 2^32");
+        let t = threads.max(1);
+        let slots = (0..t)
+            .map(|tid| {
+                let lo = (len * tid / t) as u32;
+                let hi = (len * (tid + 1) / t) as u32;
+                CachePadded::new(AtomicU64::new(pack(lo, hi)))
+            })
+            .collect();
+        Self { slots }
+    }
+
+    /// Claims the next `chunk` indices from the caller's own block, or
+    /// `None` when the block is drained. Contention on this CAS is rare:
+    /// only thieves touch a foreign slot, and only to halve it.
+    #[inline]
+    pub fn claim_local(&self, tid: usize, chunk: usize) -> Option<Range<usize>> {
+        let slot = &self.slots[tid];
+        let chunk = chunk.max(1) as u64;
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let new_lo = (lo as u64 + chunk).min(hi as u64) as u32;
+            match slot.compare_exchange_weak(
+                cur,
+                pack(new_lo, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize..new_lo as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Steals work for a drained thief: scans the other slots from a
+    /// salted offset, halves the *largest* remaining block, publishes the
+    /// stolen block (minus one chunk) into the thief's own slot and
+    /// returns that first chunk. Returns `None` only when every slot was
+    /// observed empty in a full scan.
+    pub fn steal(&self, thief: usize, chunk: usize) -> Option<Range<usize>> {
+        let t = self.slots.len();
+        let chunk = chunk.max(1);
+        let mut round = 0u64;
+        loop {
+            // Salted start offset so simultaneously-starved thieves scan
+            // different victims first instead of convoying on one slot.
+            let offset =
+                (SCAN_SALT.wrapping_mul(thief as u64 + round + 1) % t as u64) as usize;
+            let mut best: Option<(usize, u64, u32, u32)> = None;
+            let mut best_rem = 0u32;
+            for k in 0..t {
+                let v = (offset + k) % t;
+                if v == thief {
+                    continue;
+                }
+                let word = self.slots[v].load(Ordering::Acquire);
+                let (lo, hi) = unpack(word);
+                let rem = hi.saturating_sub(lo);
+                if rem > best_rem {
+                    best_rem = rem;
+                    best = Some((v, word, lo, hi));
+                }
+            }
+            let (victim, observed, lo, hi) = best?;
+            // Take the upper half; a tail at or below one chunk is taken
+            // whole (halving it would just bounce it between slots).
+            let mid = if (hi - lo) as usize <= chunk {
+                lo
+            } else {
+                lo + (hi - lo) / 2
+            };
+            if self.slots[victim]
+                .compare_exchange(
+                    observed,
+                    pack(lo, mid),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                let claim_hi = (mid as usize + chunk).min(hi as usize) as u32;
+                if claim_hi < hi {
+                    // Own slot is empty and, by the disjointness invariant
+                    // (see type docs), no concurrent CAS can hit it: a
+                    // plain store publishes the remainder.
+                    self.slots[thief].store(pack(claim_hi, hi), Ordering::Release);
+                }
+                return Some(mid as usize..claim_hi as usize);
+            }
+            // The victim raced us (claimed or was stolen from); rescan.
+            round += 1;
+        }
+    }
+
+    /// Sum of remaining (unclaimed) indices — test/debug aid.
+    pub fn remaining(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                let (lo, hi) = unpack(s.load(Ordering::Acquire));
+                hi.saturating_sub(lo) as usize
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn drain(ranges: &StealRanges, tid: usize, chunk: usize, seen: &mut Vec<usize>) {
+        loop {
+            while let Some(r) = ranges.claim_local(tid, chunk) {
+                seen.extend(r);
+            }
+            match ranges.steal(tid, chunk) {
+                Some(r) => seen.extend(r),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn single_slot_covers_range() {
+        let ranges = StealRanges::new(103, 1);
+        let mut seen = Vec::new();
+        drain(&ranges, 0, 10, &mut seen);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..103).collect::<Vec<_>>());
+        assert_eq!(ranges.remaining(), 0);
+    }
+
+    #[test]
+    fn sequential_multi_slot_drain_covers_exactly_once() {
+        // One "thread" drains its own block then steals everything else.
+        let ranges = StealRanges::new(1000, 7);
+        let mut seen = Vec::new();
+        drain(&ranges, 3, 13, &mut seen);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let ranges = StealRanges::new(0, 4);
+        assert_eq!(ranges.claim_local(2, 8), None);
+        assert_eq!(ranges.steal(2, 8), None);
+    }
+
+    #[test]
+    fn steal_halves_the_largest_block() {
+        let ranges = StealRanges::new(1024, 2);
+        // Thief 1 drains its own half first.
+        while ranges.claim_local(1, 64).is_some() {}
+        let stolen = ranges.steal(1, 64).expect("victim has work");
+        // Victim 0 held [0, 512); the thief takes the upper half's first
+        // chunk and publishes the rest into its own slot.
+        assert_eq!(stolen, 256..320);
+        assert_eq!(ranges.remaining(), 1024 - 512 - 64);
+        // The published remainder is now claimable locally.
+        assert_eq!(ranges.claim_local(1, 64), Some(320..384));
+    }
+
+    #[test]
+    fn concurrent_drain_partitions_range() {
+        let threads = 8;
+        let n = 100_000;
+        let ranges = StealRanges::new(n, threads);
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let ranges = &ranges;
+                let marks = &marks;
+                s.spawn(move || loop {
+                    while let Some(r) = ranges.claim_local(tid, 7) {
+                        for i in r {
+                            marks[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    match ranges.steal(tid, 7) {
+                        Some(r) => {
+                            for i in r {
+                                marks[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert!(
+            marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+            "every index must be claimed exactly once"
+        );
+        assert_eq!(ranges.remaining(), 0);
+    }
+
+    #[test]
+    fn skewed_load_is_rebalanced_by_stealing() {
+        // All work in slot 0; the other slots start empty and must steal.
+        let threads = 4;
+        let n = 10_000;
+        let ranges = StealRanges::new(n, 1);
+        // Reshape: one slot with everything + empty thief slots.
+        let ranges = {
+            let mut slots = vec![ranges.slots.into_iter().next().unwrap()];
+            for _ in 1..threads {
+                slots.push(CachePadded::new(AtomicU64::new(pack(0, 0))));
+            }
+            StealRanges { slots }
+        };
+        let claimed: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let (ranges, marks, claimed) = (&ranges, &marks, &claimed);
+                s.spawn(move || loop {
+                    while let Some(r) = ranges.claim_local(tid, 16) {
+                        claimed[tid].fetch_add(r.len(), Ordering::Relaxed);
+                        for i in r {
+                            marks[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    match ranges.steal(tid, 16) {
+                        Some(r) => {
+                            claimed[tid].fetch_add(r.len(), Ordering::Relaxed);
+                            for i in r {
+                                marks[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+        let total: usize = claimed.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn sched_labels_roundtrip() {
+        for s in Sched::all() {
+            assert_eq!(Sched::from_name(s.label()), Some(s));
+            assert_eq!(s.to_string(), s.label());
+        }
+        assert_eq!(Sched::from_name("cursor"), Some(Sched::Dynamic));
+        assert_eq!(Sched::from_name("stealing"), Some(Sched::Stealing));
+        assert_eq!(Sched::from_name("bogus"), None);
+        assert_eq!(Sched::default(), Sched::Dynamic);
+    }
+
+    #[test]
+    #[should_panic(expected = "len < 2^32")]
+    fn oversized_range_is_rejected() {
+        let _ = StealRanges::new(u32::MAX as usize + 1, 2);
+    }
+}

@@ -20,7 +20,7 @@
 use std::io::{Read, Write};
 use std::path::Path;
 
-use crate::Csr;
+use crate::{Csr, CsrIndex};
 
 const MAGIC: &[u8; 8] = b"BGPCCSR1";
 
@@ -50,14 +50,15 @@ impl From<std::io::Error> for BinError {
     }
 }
 
-/// Writes a pattern in the binary cache format.
-pub fn write_bin<W: Write>(mut w: W, m: &Csr) -> std::io::Result<()> {
+/// Writes a pattern in the binary cache format. The on-disk row-pointer
+/// width is always u64, independent of the in-memory [`CsrIndex`] width.
+pub fn write_bin<W: Write, I: CsrIndex>(mut w: W, m: &Csr<I>) -> std::io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(m.nrows() as u64).to_le_bytes())?;
     w.write_all(&(m.ncols() as u64).to_le_bytes())?;
     w.write_all(&(m.nnz() as u64).to_le_bytes())?;
     for &p in m.row_ptr() {
-        w.write_all(&(p as u64).to_le_bytes())?;
+        w.write_all(&(p.to_usize() as u64).to_le_bytes())?;
     }
     for &j in m.col_idx() {
         w.write_all(&j.to_le_bytes())?;
@@ -95,17 +96,12 @@ pub fn read_bin<R: Read>(mut r: R) -> Result<Csr, BinError> {
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
-    // Csr::from_parts validates the invariants but panics; pre-check the
-    // cheap global ones and catch the rest.
-    if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&nnz) {
-        return Err(BinError::Format("row_ptr endpoints inconsistent".into()));
-    }
-    std::panic::catch_unwind(|| Csr::from_parts(nrows, ncols, row_ptr, col_idx))
-        .map_err(|_| BinError::Format("CSR invariants violated".into()))
+    Csr::try_from_parts(nrows, ncols, row_ptr, col_idx)
+        .map_err(|e| BinError::Format(format!("CSR invariants violated: {e}")))
 }
 
 /// Writes to a file path.
-pub fn write_bin_file(path: impl AsRef<Path>, m: &Csr) -> std::io::Result<()> {
+pub fn write_bin_file<I: CsrIndex>(path: impl AsRef<Path>, m: &Csr<I>) -> std::io::Result<()> {
     let f = std::fs::File::create(path)?;
     write_bin(std::io::BufWriter::new(f), m)
 }

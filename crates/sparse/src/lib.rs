@@ -17,6 +17,13 @@
 //!   reproduces the signature at a configurable scale.
 //! * [`stats`] — degree-distribution statistics (max/mean/σ of row and
 //!   column cardinalities) used to validate the generators against Table II.
+//! * [`perm`] — locality-aware relabelings (degree-sort, BFS/CM) with
+//!   invert/unpermute helpers so colorings are reported in original ids.
+//! * [`prefetch`] — software prefetch hints for the irregular CSR gathers.
+//!
+//! [`Csr`] is parameterized by its row-pointer width ([`CsrIndex`]): `u32`
+//! by default, `u64` as the fallback for instances with ≥ 2³² nonzeros
+//! (see [`IndexWidth`]).
 
 pub mod bin_io;
 pub mod coo;
@@ -24,9 +31,12 @@ pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod mm;
+pub mod perm;
+pub mod prefetch;
 pub mod stats;
 
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{Csr, CsrError, CsrIndex, IndexWidth};
 pub use datasets::{Dataset, Instance};
+pub use perm::{invert_perm, unpermute, LocalityOrder};
 pub use stats::DegreeStats;

@@ -27,6 +27,15 @@ esac
 echo "== cargo build --release --offline -p bench (bench_coloring)"
 cargo build --release --offline -p bench --bin bench_coloring
 
+# Stamp the report with provenance so a checked-in BENCH_coloring.json is
+# traceable to the tree and machine that produced it. bench_coloring reads
+# these and falls back to "unknown" when run by hand.
+BENCH_GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+BENCH_HOSTNAME="$(hostname 2>/dev/null || echo unknown)"
+BENCH_NPROC="$(nproc 2>/dev/null || echo unknown)"
+export BENCH_GIT_SHA BENCH_HOSTNAME
+echo "== provenance: sha=${BENCH_GIT_SHA} host=${BENCH_HOSTNAME} threads=${BENCH_NPROC}"
+
 echo "== bench_coloring ${MODE_FLAG:-(full)}"
 # shellcheck disable=SC2086  # MODE_FLAG is intentionally word-split
 ./target/release/bench_coloring ${MODE_FLAG} --out BENCH_coloring.json

@@ -2,19 +2,43 @@
 # Tier-1 verification: hermetic build + tests + lints, fully offline.
 # The workspace has zero registry dependencies (see README "Hermetic
 # offline build"), so --offline must always succeed.
+#
+# Each step reports its wall time. The bench-smoke step is additionally
+# gated against scripts/verify_baseline.txt: if the smoke run takes more
+# than 5x the recorded baseline, verification fails — a coarse tripwire
+# for accidental serialization or pathological regressions in the hot
+# kernels. Delete the baseline file (or re-record on a new machine) to
+# reset it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --workspace --release --offline"
+BASELINE_FILE="scripts/verify_baseline.txt"
+STEP_START=0
+
+step_begin() {
+  echo "== $1"
+  STEP_START=$(date +%s)
+}
+
+step_end() {
+  local elapsed=$(( $(date +%s) - STEP_START ))
+  echo "-- step '$1' took ${elapsed}s"
+  LAST_STEP_SECS=$elapsed
+}
+
+step_begin "cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
+step_end "build"
 
-echo "== cargo test --workspace -q --offline"
+step_begin "cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
+step_end "test"
 
-echo "== cargo clippy --workspace --all-targets --offline -- -D warnings"
+step_begin "cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+step_end "clippy"
 
-echo "== bench smoke: bench_coloring --smoke (verifies every coloring)"
+step_begin "bench smoke: bench_coloring --smoke (verifies every coloring)"
 # The smoke run exits nonzero if any schedule produces an invalid
 # coloring; its JSON goes under target/ so it never clobbers the
 # checked-in BENCH_coloring.json from scripts/bench.sh.
@@ -26,6 +50,33 @@ else
   # Fallback: the emitted report always ends with a closing brace.
   grep -q '}' target/BENCH_smoke.json
   echo "bench smoke JSON present (python3 unavailable; shallow check)"
+fi
+step_end "bench-smoke"
+SMOKE_SECS=$LAST_STEP_SECS
+
+# Regression gate: fail when the smoke step runs >5x slower than the
+# recorded baseline. The threshold is deliberately loose — it catches
+# "the scheduler livelocked" or "a kernel went quadratic", not noise.
+if [[ -f "$BASELINE_FILE" ]]; then
+  BASELINE_SECS=$(cat "$BASELINE_FILE")
+  if [[ "$BASELINE_SECS" =~ ^[0-9]+$ ]] && (( BASELINE_SECS > 0 )); then
+    LIMIT=$(( BASELINE_SECS * 5 ))
+    if (( SMOKE_SECS > LIMIT )); then
+      echo "verify: FAIL — bench smoke took ${SMOKE_SECS}s," \
+           "more than 5x the recorded baseline of ${BASELINE_SECS}s" >&2
+      echo "(re-record with: echo ${SMOKE_SECS} > ${BASELINE_FILE})" >&2
+      exit 1
+    fi
+    echo "-- bench smoke within budget (${SMOKE_SECS}s <= 5x baseline ${BASELINE_SECS}s)"
+  else
+    echo "-- ignoring malformed baseline '${BASELINE_SECS}' in ${BASELINE_FILE}" >&2
+  fi
+else
+  # First run on this checkout: record the baseline (floor of 1s so the
+  # 5x budget is never zero).
+  RECORD=$(( SMOKE_SECS > 0 ? SMOKE_SECS : 1 ))
+  echo "$RECORD" > "$BASELINE_FILE"
+  echo "-- recorded bench smoke baseline: ${RECORD}s -> ${BASELINE_FILE}"
 fi
 
 echo "verify: OK"
