@@ -205,8 +205,9 @@ pub struct JpRow {
     pub spec_ms: f64,
 }
 
-/// Contrast the MIS-based Jones–Plassmann baseline (related work
-/// [23]–[25]) with the paper's speculative `N1-N2` on identical inputs.
+/// Contrast the MIS-based Jones–Plassmann baseline (the paper's related
+/// work \[23\]–\[25\]) with the paper's speculative `N1-N2` on identical
+/// inputs.
 pub fn jp_sweep(cfg: &ReproConfig) -> (String, Vec<JpRow>) {
     let t = cfg.max_threads();
     let pool = Pool::new(t);

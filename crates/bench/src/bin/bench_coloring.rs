@@ -75,6 +75,17 @@ to_json_struct!(ScheduleRecord {
     verified
 });
 
+/// Pre-rendered JSON embedded verbatim — used to splice the trace crate's
+/// [`trace::RunSummary::to_json`] output into the report without teaching
+/// the bench JSON layer about its types.
+struct RawJson(String);
+
+impl bench::json::ToJson for RawJson {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.0);
+    }
+}
+
 struct BenchReport {
     mode: String,
     scale: f64,
@@ -89,6 +100,9 @@ struct BenchReport {
     host_threads: usize,
     micro: Vec<MicroRecord>,
     schedules: Vec<ScheduleRecord>,
+    /// Structured per-thread summary of the `--trace` run (`null` when
+    /// tracing was not requested).
+    trace: Option<RawJson>,
 }
 to_json_struct!(BenchReport {
     mode,
@@ -99,7 +113,8 @@ to_json_struct!(BenchReport {
     hostname,
     host_threads,
     micro,
-    schedules
+    schedules,
+    trace
 });
 
 const SEED: u64 = 20170814;
@@ -377,6 +392,7 @@ fn main() {
     let mut only_width: Option<IndexWidth> = None;
     let mut only_order: Option<LocalityOrder> = None;
     let mut only_sched: Option<Sched> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -390,6 +406,10 @@ fn main() {
             }
             "--out" => {
                 out_path = flag_value(&args, i, "--out");
+                i += 2;
+            }
+            "--trace" => {
+                trace_path = Some(flag_value(&args, i, "--trace"));
                 i += 2;
             }
             "--index-width" => {
@@ -419,7 +439,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag `{other}` (expected --smoke, --quick, --out PATH, \
-                     --index-width W, --order O, --sched S)"
+                     --trace PATH, --index-width W, --order O, --sched S)"
                 );
                 std::process::exit(2);
             }
@@ -620,6 +640,38 @@ fn main() {
         );
     }
 
+    // `--trace` runs one instrumented coloring on the first BGPC instance
+    // at the highest thread count and exports it two ways: a chrome-trace
+    // file for chrome://tracing / Perfetto, and a structured per-thread
+    // summary embedded in the report as the `trace` section.
+    let trace_section = trace_path.as_ref().map(|path| {
+        let t = threads.iter().copied().max().unwrap_or(1);
+        let dataset = bgpc_sets[0];
+        let inst = dataset.build(scale, SEED);
+        let g = BipartiteGraph::from_matrix(&inst.matrix);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let mut pool = Pool::new(t);
+        pool.set_tracer(std::sync::Arc::new(trace::Recorder::new(pool.threads())));
+        let r = bgpc::color_bgpc(&g, &order, &Schedule::n1_n2(), &pool);
+        if let Err(e) = verify_bgpc(&g, &r.colors) {
+            eprintln!("FATAL: invalid traced coloring ({}): {e}", dataset.name());
+            std::process::exit(1);
+        }
+        let rec = pool.tracer().expect("recorder installed above");
+        let json = trace::chrome_trace_json(rec, "bench_coloring");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("FATAL: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  traced {} N1-N2 at {t} threads -> {path} ({} bytes)",
+            dataset.name(),
+            json.len()
+        );
+        eprint!("{}", trace::imbalance_table(&rec.snapshot_counters()));
+        RawJson(trace::RunSummary::from_recorder(rec).to_json())
+    });
+
     let report = BenchReport {
         mode: mode.into(),
         scale,
@@ -632,6 +684,7 @@ fn main() {
         host_threads: std::thread::available_parallelism().map_or(0, |n| n.get()),
         micro,
         schedules,
+        trace: trace_section,
     };
     let json = to_string_pretty(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -3,8 +3,8 @@
 //!
 //! The harness only ever *writes* JSON records (EXPERIMENTS.md tooling
 //! reads them back with ordinary scripting), so one trait with a handful
-//! of impls plus the [`to_json_struct!`] field-listing macro covers every
-//! record type without derive machinery.
+//! of impls plus the [`crate::to_json_struct!`] field-listing macro
+//! covers every record type without derive machinery.
 
 use std::fmt::Write as _;
 

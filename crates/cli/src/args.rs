@@ -51,6 +51,12 @@ pub struct ColorArgs {
     pub recolor: bool,
     /// Optional output path for `vertex color` lines.
     pub output: Option<String>,
+    /// Optional chrome-trace output path; installs a [`trace::Recorder`]
+    /// on the pool for the run.
+    pub trace: Option<String>,
+    /// Print per-iteration thread counters and the imbalance table (also
+    /// installs a recorder).
+    pub metrics: bool,
 }
 
 /// Usage text for the `color` command.
@@ -61,6 +67,7 @@ usage: bgpc-cli color [--mtx FILE | --bin FILE | --dataset NAME [--scale F] [--s
                       [--index-width auto|u32|u64] [--relabel none|degree|bfs]
                       [--sched dynamic|steal]
                       [--threads N] [--recolor] [--output FILE]
+                      [--trace FILE] [--metrics]
 
 schedules: V-V, V-V-64, V-V-64D, V-Ninf, V-N1, V-N2, N1-N2, N2-N2
            (append -B1 or -B2 for the balancing heuristics)
@@ -84,6 +91,8 @@ impl ColorArgs {
         let mut sched = par::Sched::Dynamic;
         let mut recolor = false;
         let mut output = None;
+        let mut trace = None;
+        let mut metrics = false;
 
         let mut i = 0;
         while i < args.len() {
@@ -163,6 +172,14 @@ impl ColorArgs {
                     output = Some(value(i)?.clone());
                     i += 2;
                 }
+                "--trace" => {
+                    trace = Some(value(i)?.clone());
+                    i += 2;
+                }
+                "--metrics" => {
+                    metrics = true;
+                    i += 1;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -186,6 +203,8 @@ impl ColorArgs {
             relabel,
             recolor,
             output,
+            trace,
+            metrics,
         })
     }
 }
@@ -280,6 +299,19 @@ mod tests {
         assert!(ColorArgs::parse(&s(&["--mtx", "a", "--schedule", "zzz"])).is_err());
         assert!(ColorArgs::parse(&s(&["--mtx", "a", "--order", "zzz"])).is_err());
         assert!(ColorArgs::parse(&s(&["--nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_and_metrics() {
+        let a = ColorArgs::parse(&s(&["--mtx", "m.mtx", "--trace", "t.json", "--metrics"]))
+            .unwrap();
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert!(a.metrics);
+        let a = ColorArgs::parse(&s(&["--mtx", "m.mtx"])).unwrap();
+        assert_eq!(a.trace, None);
+        assert!(!a.metrics);
+        // --trace requires a value
+        assert!(ColorArgs::parse(&s(&["--mtx", "m.mtx", "--trace"])).is_err());
     }
 
     #[test]

@@ -138,8 +138,15 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         args.relabel.label(),
         args.schedule.sched,
     );
-    let pool = Pool::new(args.threads);
+    let mut pool = Pool::new(args.threads);
+    if args.trace.is_some() || args.metrics {
+        // Tracing is opt-in: without these flags no recorder exists and
+        // the kernels' counter flushes are skipped entirely.
+        pool.set_tracer(std::sync::Arc::new(trace::Recorder::new(pool.threads())));
+    }
+    let pool = pool;
 
+    let mut iterations: Vec<bgpc::IterationMetrics> = Vec::new();
     let (colors, num_colors, bound, total_ms, rounds) = match args.problem {
         Problem::Bgpc => {
             // Original-id graph: the relabeled run's coloring is mapped
@@ -156,6 +163,7 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
             report_degradation(&r.degraded);
             let total_ms = r.total_time.as_secs_f64() * 1e3;
             let rounds = r.rounds();
+            iterations = r.iterations;
             let mut colors = to_original_ids(r.colors, &perm);
             bgpc::verify::verify_bgpc(&g, &colors)
                 .map_err(|e| Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}")))?;
@@ -189,6 +197,7 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
                     report_degradation(&r.degraded);
                     let total_ms = r.total_time.as_secs_f64() * 1e3;
                     let rounds = r.rounds();
+                    iterations = r.iterations;
                     let mut colors = to_original_ids(r.colors, &perm);
                     bgpc::verify::verify_d2gc(&g, &colors).map_err(|e| {
                         Failure::new(EXIT_INTERNAL, format!("invalid coloring: {e}"))
@@ -255,6 +264,35 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         stats.gini(),
         stats.classes_below(2),
     );
+
+    if args.metrics {
+        if let Some(rec) = pool.tracer() {
+            if !iterations.is_empty() {
+                println!("iter  color    conflict  queue_in  queue_out  color_ms  conflict_ms");
+                for m in &iterations {
+                    println!(
+                        "{:>4}  {:<7}  {:<8}  {:>8}  {:>9}  {:>8.3}  {:>11.3}",
+                        m.iter,
+                        format!("{:?}", m.color_kind),
+                        format!("{:?}", m.conflict_kind),
+                        m.queue_in,
+                        m.queue_out,
+                        m.color_time.as_secs_f64() * 1e3,
+                        m.conflict_time.as_secs_f64() * 1e3,
+                    );
+                }
+            }
+            print!("{}", trace::imbalance_table(&rec.snapshot_counters()));
+        }
+    }
+    if let Some(path) = &args.trace {
+        let rec = pool
+            .tracer()
+            .expect("--trace installs a recorder before the run");
+        std::fs::write(path, trace::chrome_trace_json(rec, "bgpc-cli"))
+            .map_err(|e| Failure::new(EXIT_OUTPUT, format!("writing {path}: {e}")))?;
+        println!("trace written to {path}");
+    }
 
     if let Some(path) = args.output {
         write_colors(&path, &colors)
@@ -490,6 +528,45 @@ mod tests {
         ]));
         assert_eq!(code, 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flag_writes_parseable_chrome_trace() {
+        let dir = std::env::temp_dir().join("bgpc-cli-trace-ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.trace.json");
+        let code = cmd_color(&s(&[
+            "--dataset",
+            "af_shell10",
+            "--scale",
+            "0.002",
+            "--threads",
+            "3",
+            "--metrics",
+            "--trace",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = trace::reader::ChromeTrace::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted trace must satisfy the schema: {e}"));
+        // Every team member accumulated busy time through its region guard.
+        assert_eq!(parsed.busy_per_thread().len(), 3);
+        assert!(parsed.spans().count() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_to_unwritable_directory_exits_with_output_code() {
+        let code = cmd_color(&s(&[
+            "--dataset",
+            "af_shell10",
+            "--scale",
+            "0.002",
+            "--trace",
+            "/definitely/not/a/dir/run.trace.json",
+        ]));
+        assert_eq!(code, EXIT_OUTPUT);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! This is the paper's D2GC use case (Hessian computation, §I).
 //!
 //! A distance-*1* coloring is *not* sufficient — two non-adjacent columns
-//! with a common neighbor row would collide — and
-//! [`tests::d1_coloring_is_insufficient`] demonstrates it.
+//! with a common neighbor row would collide — and the
+//! `d1_coloring_is_insufficient` test below demonstrates it.
 
 use bgpc::Color;
 use graph::Graph;

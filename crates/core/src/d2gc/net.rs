@@ -27,15 +27,21 @@ pub fn color_workqueue_net<F: ForbiddenSet, I: CsrIndex>(
     balance: Balance,
     scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
+    let rec = pool.tracer();
     pool.for_sched(sched, g.n_vertices(), NET_CHUNK, |tid, range| {
         par::faults::fire("d2gc.color", tid);
         scratch.with(tid, |ctx| {
+            let mut colored = 0u64;
+            let mut probes = 0u64;
             for v in range {
                 ctx.fb.advance();
                 ctx.wlocal.clear();
                 let cv = colors.get(v);
                 if cv != UNCOLORED {
                     ctx.fb.insert(cv);
+                    if trace::COMPILED {
+                        probes += 1;
+                    }
                 } else {
                     ctx.wlocal.push(v as u32);
                 }
@@ -43,12 +49,18 @@ pub fn color_workqueue_net<F: ForbiddenSet, I: CsrIndex>(
                     let cu = colors.get(u as usize);
                     if cu != UNCOLORED && !ctx.fb.contains(cu) {
                         ctx.fb.insert(cu);
+                        if trace::COMPILED {
+                            probes += 1;
+                        }
                     } else {
                         ctx.wlocal.push(u);
                     }
                 }
                 if ctx.wlocal.is_empty() {
                     continue;
+                }
+                if trace::COMPILED {
+                    colored += ctx.wlocal.len() as u64;
                 }
                 // Take the local queue so the second pass iterates a slice
                 // (no per-element index bound check) while `ctx.fb` stays
@@ -74,6 +86,14 @@ pub fn color_workqueue_net<F: ForbiddenSet, I: CsrIndex>(
                 }
                 ctx.wlocal = wlocal;
             }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::VerticesColored, colored);
+                    local.add(trace::Counter::ForbiddenProbes, probes);
+                    r.merge(tid, &local);
+                }
+            }
         });
     });
 }
@@ -90,24 +110,44 @@ pub fn remove_conflicts_net<F: ForbiddenSet, I: CsrIndex>(
     sched: Sched,
     scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
+    let rec = pool.tracer();
     pool.for_sched(sched, g.n_vertices(), NET_CHUNK, |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch.with(tid, |ctx| {
+            let mut conflicts = 0u64;
+            let mut probes = 0u64;
             for v in range {
                 ctx.fb.advance();
                 let cv = colors.get(v);
                 if cv != UNCOLORED {
                     ctx.fb.insert(cv);
+                    if trace::COMPILED {
+                        probes += 1;
+                    }
                 }
                 for &u in g.nbor(v) {
                     let cu = colors.get(u as usize);
                     if cu != UNCOLORED {
                         if ctx.fb.contains(cu) {
                             colors.clear(u as usize);
+                            if trace::COMPILED {
+                                conflicts += 1;
+                            }
                         } else {
                             ctx.fb.insert(cu);
+                            if trace::COMPILED {
+                                probes += 1;
+                            }
                         }
                     }
+                }
+            }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::ConflictsDetected, conflicts);
+                    local.add(trace::Counter::ForbiddenProbes, probes);
+                    r.merge(tid, &local);
                 }
             }
         });

@@ -13,7 +13,7 @@ use crate::forbidden::ForbiddenSet;
 use crate::metrics::{
     count_distinct_colors, ColoringResult, DegradeReason, FailedPhase, IterationMetrics,
 };
-use crate::runner::RunnerOpts;
+use crate::runner::{per_thread_slices, RunnerOpts};
 use crate::schedule::PhaseKind;
 use crate::workqueue::SharedQueue;
 use crate::{Colors, Schedule, UNCOLORED};
@@ -90,6 +90,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
     let mut w: Vec<u32> = order.to_vec();
     let mut iterations = Vec::new();
     let mut degraded: Option<DegradeReason> = None;
+    let rec = pool.tracer();
     let start = Instant::now();
 
     let mut iter = 0usize;
@@ -99,7 +100,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 cap: opts.max_iterations,
             });
             let queue_in = w.len();
-            repair_sequential(g, order, &colors);
+            traced_repair(g, order, &colors, rec, iter);
             w.clear();
             iterations.push(IterationMetrics {
                 iter,
@@ -109,6 +110,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 color_time: start.elapsed(),
                 conflict_time: Duration::ZERO,
                 queue_out: 0,
+                per_thread: Vec::new(),
             });
             break;
         }
@@ -117,6 +119,10 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
         let color_kind = schedule.color_kind(iter);
         let conflict_kind = schedule.conflict_kind(iter);
 
+        // Phase-bracketing snapshots, exactly as in [`crate::runner`]:
+        // deltas of the monotonic sheets become `ThreadIterStats`.
+        let snap_start = rec.map(|r| r.snapshot_counters());
+        let color_start_ns = rec.map(|r| r.now_ns());
         let t_color = Instant::now();
         let color_outcome = par::contain(|| match color_kind {
             PhaseKind::Vertex => vertex::color_workqueue_vertex(
@@ -139,6 +145,16 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
             ),
         });
         let color_time = t_color.elapsed();
+        if let (Some(r), Some(ts)) = (rec, color_start_ns) {
+            r.record_span(
+                0,
+                trace::SpanKind::Color,
+                iter as u32,
+                ts,
+                r.now_ns().saturating_sub(ts),
+            );
+        }
+        let snap_color = rec.map(|r| r.snapshot_counters());
 
         if let Err(fault) = color_outcome {
             degraded = Some(DegradeReason::WorkerPanic {
@@ -146,7 +162,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 iter,
                 message: fault.first_message(),
             });
-            repair_sequential(g, order, &colors);
+            traced_repair(g, order, &colors, rec, iter);
             w.clear();
             iterations.push(IterationMetrics {
                 iter,
@@ -156,10 +172,12 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 color_time,
                 conflict_time: Duration::ZERO,
                 queue_out: 0,
+                per_thread: Vec::new(),
             });
             break;
         }
 
+        let conflict_start_ns = rec.map(|r| r.now_ns());
         let t_conflict = Instant::now();
         let conflict_outcome = par::contain(|| match conflict_kind {
             PhaseKind::Vertex => vertex::remove_conflicts_vertex(
@@ -178,6 +196,15 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
             }
         });
         let conflict_time = t_conflict.elapsed();
+        if let (Some(r), Some(ts)) = (rec, conflict_start_ns) {
+            r.record_span(
+                0,
+                trace::SpanKind::Conflict,
+                iter as u32,
+                ts,
+                r.now_ns().saturating_sub(ts),
+            );
+        }
 
         let wnext = match conflict_outcome {
             Ok(wnext) => wnext,
@@ -187,7 +214,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                     iter,
                     message: fault.first_message(),
                 });
-                repair_sequential(g, order, &colors);
+                traced_repair(g, order, &colors, rec, iter);
                 w.clear();
                 iterations.push(IterationMetrics {
                     iter,
@@ -197,10 +224,26 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                     color_time,
                     conflict_time,
                     queue_out: 0,
+                    per_thread: Vec::new(),
                 });
                 break;
             }
         };
+
+        let per_thread = per_thread_slices(&snap_start, &snap_color, rec);
+        if trace::COMPILED && conflict_kind == PhaseKind::Vertex && !per_thread.is_empty() {
+            // Same trace/queue invariant as the BGPC driver: the
+            // vertex-based conflict phase pushes each loser exactly once.
+            let counted: u64 = per_thread
+                .iter()
+                .map(|t| t.conflict.get(trace::Counter::ConflictsDetected))
+                .sum();
+            debug_assert_eq!(
+                counted,
+                wnext.len() as u64,
+                "per-thread conflict counts disagree with queue size"
+            );
+        }
 
         iterations.push(IterationMetrics {
             iter,
@@ -210,6 +253,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
             color_time,
             conflict_time,
             queue_out: wnext.len(),
+            per_thread,
         });
         w = wnext;
         iter += 1;
@@ -223,6 +267,28 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
         iterations,
         total_time: start.elapsed(),
         degraded,
+    }
+}
+
+/// [`repair_sequential`] wrapped in a [`trace::SpanKind::Repair`] span,
+/// mirroring the BGPC driver's `traced_repair`.
+fn traced_repair<I: CsrIndex>(
+    g: &Graph<I>,
+    order: &[u32],
+    colors: &Colors,
+    rec: Option<&trace::Recorder>,
+    iter: usize,
+) {
+    let ts = rec.map(|r| r.now_ns());
+    repair_sequential(g, order, colors);
+    if let (Some(r), Some(ts)) = (rec, ts) {
+        r.record_span(
+            0,
+            trace::SpanKind::Repair,
+            iter as u32,
+            ts,
+            r.now_ns().saturating_sub(ts),
+        );
     }
 }
 

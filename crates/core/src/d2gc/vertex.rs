@@ -26,13 +26,19 @@ pub fn color_workqueue_vertex<F: ForbiddenSet, I: CsrIndex>(
     balance: Balance,
     scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
+    let rec = pool.tracer();
     pool.for_sched(sched, w.len(), chunk, |tid, range| {
         par::faults::fire("d2gc.color", tid);
         scratch.with(tid, |ctx| {
             let items = &w[range];
+            let mut probes = 0u64;
+            let mut prefetches = 0u64;
             for (k, &wv) in items.iter().enumerate() {
                 if let Some(&next) = items.get(k + crate::vertex::PREFETCH_AHEAD) {
                     g.prefetch_nbor(next as usize);
+                    if trace::COMPILED {
+                        prefetches += 1;
+                    }
                 }
                 let wu = wv as usize;
                 ctx.fb.advance();
@@ -40,18 +46,33 @@ pub fn color_workqueue_vertex<F: ForbiddenSet, I: CsrIndex>(
                     let cu = colors.get(u as usize);
                     if cu != UNCOLORED {
                         ctx.fb.insert(cu);
+                        if trace::COMPILED {
+                            probes += 1;
+                        }
                     }
                     for &x in g.nbor(u as usize) {
                         if x != wv {
                             let cx = colors.get(x as usize);
                             if cx != UNCOLORED {
                                 ctx.fb.insert(cx);
+                                if trace::COMPILED {
+                                    probes += 1;
+                                }
                             }
                         }
                     }
                 }
                 let col = balance.pick(wv, &ctx.fb, &mut ctx.balancer);
                 colors.set(wu, col);
+            }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::VerticesColored, items.len() as u64);
+                    local.add(trace::Counter::ForbiddenProbes, probes);
+                    local.add(trace::Counter::PrefetchIssues, prefetches);
+                    r.merge(tid, &local);
+                }
             }
         });
     });
@@ -71,13 +92,19 @@ pub fn remove_conflicts_vertex<F: ForbiddenSet, I: CsrIndex>(
     scratch: &mut ThreadScratch<ThreadCtx<F, I>>,
 ) -> Vec<u32> {
     let scratch_ref: &ThreadScratch<ThreadCtx<F, I>> = scratch;
+    let rec = pool.tracer();
     pool.for_sched(sched, w.len(), chunk, |tid, range| {
         par::faults::fire("d2gc.conflict", tid);
         scratch_ref.with(tid, |ctx| {
             let items = &w[range];
+            let mut conflicts = 0u64;
+            let mut prefetches = 0u64;
             for (k, &wv) in items.iter().enumerate() {
                 if let Some(&next) = items.get(k + crate::vertex::PREFETCH_AHEAD) {
                     g.prefetch_nbor(next as usize);
+                    if trace::COMPILED {
+                        prefetches += 1;
+                    }
                 }
                 let wu = wv as usize;
                 let cw = colors.get(wu);
@@ -100,6 +127,17 @@ pub fn remove_conflicts_vertex<F: ForbiddenSet, I: CsrIndex>(
                         Some(q) => q.push_staged(&mut ctx.stage, wv),
                         None => ctx.local_queue.push(wv),
                     }
+                    if trace::COMPILED {
+                        conflicts += 1;
+                    }
+                }
+            }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::ConflictsDetected, conflicts);
+                    local.add(trace::Counter::PrefetchIssues, prefetches);
+                    r.merge(tid, &local);
                 }
             }
         });

@@ -1,5 +1,5 @@
 //! Jones–Plassmann coloring — the MIS-based baseline family the
-//! speculative approach displaced (paper §VII, refs [23]–[25]).
+//! speculative approach displaced (paper §VII, refs \[23\]–\[25\]).
 //!
 //! Every vertex draws a random priority; in each round, the uncolored
 //! vertices that dominate their *uncolored* (distance-2) neighborhood

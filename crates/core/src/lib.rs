@@ -27,7 +27,7 @@
 //! * [`color_bgpc`] / [`seq::color_bgpc_seq`] — parallel / sequential BGPC.
 //! * [`d2gc::color_d2gc`] / [`seq::color_d2gc_seq`] — parallel / sequential
 //!   D2GC.
-//! * [`Schedule`] — which algorithm combination to run ([`Schedule::ALL`]
+//! * [`Schedule`] — which algorithm combination to run ([`Schedule::all`]
 //!   lists the paper's eight).
 //! * [`Balance`] — the B1/B2 cardinality-balancing heuristics (§V).
 //! * [`verify`] — validity oracles and color-set statistics.

@@ -9,8 +9,26 @@ use std::time::Duration;
 use crate::schedule::PhaseKind;
 use crate::Color;
 
-/// Measurements for one speculative iteration.
+/// One thread's activity during one speculative iteration, split by phase.
+///
+/// The sheets are *deltas* of the team recorder's monotonic counters,
+/// snapshotted by the runner around each phase — so
+/// `color.get(trace::Counter::VerticesColored)` is exactly the number of
+/// optimistic assignments this thread made in this iteration's coloring
+/// phase. Only populated when a `trace::Recorder` is installed on the pool
+/// (see [`par::Pool::set_tracer`]); empty slices mean tracing was off.
 #[derive(Clone, Copy, Debug)]
+pub struct ThreadIterStats {
+    /// Team thread id.
+    pub tid: usize,
+    /// Counter deltas accumulated during the coloring phase.
+    pub color: trace::CounterSheet,
+    /// Counter deltas accumulated during the conflict-removal phase.
+    pub conflict: trace::CounterSheet,
+}
+
+/// Measurements for one speculative iteration.
+#[derive(Clone, Debug)]
 pub struct IterationMetrics {
     /// 0-based iteration number.
     pub iter: usize,
@@ -26,6 +44,9 @@ pub struct IterationMetrics {
     pub conflict_time: Duration,
     /// Work-queue size left for the next iteration (`|W_next|`).
     pub queue_out: usize,
+    /// Per-thread counter slices for this iteration; empty when no
+    /// recorder is installed (tracing is off by default).
+    pub per_thread: Vec<ThreadIterStats>,
 }
 
 /// Which phase of the speculative loop a fault was contained in.
@@ -126,6 +147,26 @@ impl ColoringResult {
     pub fn remaining_after_first(&self) -> usize {
         self.iterations.first().map(|m| m.queue_out).unwrap_or(0)
     }
+
+    /// Merges the per-iteration [`ThreadIterStats`] into one counter sheet
+    /// per thread (both phases summed) — the data behind the CLI's
+    /// `--metrics` imbalance table. Empty when tracing was off.
+    pub fn per_thread_totals(&self) -> Vec<trace::CounterSheet> {
+        let threads = self
+            .iterations
+            .iter()
+            .map(|m| m.per_thread.len())
+            .max()
+            .unwrap_or(0);
+        let mut totals = vec![trace::CounterSheet::new(); threads];
+        for m in &self.iterations {
+            for t in &m.per_thread {
+                totals[t.tid].merge(&t.color);
+                totals[t.tid].merge(&t.conflict);
+            }
+        }
+        totals
+    }
 }
 
 /// Counts distinct colors in a coloring (ignores uncolored slots).
@@ -156,6 +197,7 @@ mod tests {
             color_time: Duration::from_millis(cms),
             conflict_time: Duration::from_millis(rms),
             queue_out: out,
+            per_thread: Vec::new(),
         }
     }
 

@@ -79,9 +79,12 @@ fn color_net_single_pass<F: ForbiddenSet, I: CsrIndex>(
     scratch: &ThreadScratch<ThreadCtx<F, I>>,
     reverse: bool,
 ) {
+    let rec = pool.tracer();
     pool.for_sched(sched, g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
+            let mut colored = 0u64;
+            let mut probes = 0u64;
             for v in range {
                 ctx.fb.advance();
                 let mut col: Color = if reverse {
@@ -101,9 +104,23 @@ fn color_net_single_pass<F: ForbiddenSet, I: CsrIndex>(
                         }
                         colors.set(u as usize, col);
                         ctx.fb.insert(col);
+                        if trace::COMPILED {
+                            colored += 1;
+                        }
                     } else {
                         ctx.fb.insert(cu);
                     }
+                    if trace::COMPILED {
+                        probes += 1;
+                    }
+                }
+            }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::VerticesColored, colored);
+                    local.add(trace::Counter::ForbiddenProbes, probes);
+                    r.merge(tid, &local);
                 }
             }
         });
@@ -121,9 +138,12 @@ fn color_net_two_pass<F: ForbiddenSet, I: CsrIndex>(
     scratch: &ThreadScratch<ThreadCtx<F, I>>,
     balance: Balance,
 ) {
+    let rec = pool.tracer();
     pool.for_sched(sched, g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.color", tid);
         scratch.with(tid, |ctx| {
+            let mut colored = 0u64;
+            let mut probes = 0u64;
             for v in range {
                 ctx.fb.advance();
                 ctx.wlocal.clear();
@@ -134,9 +154,15 @@ fn color_net_two_pass<F: ForbiddenSet, I: CsrIndex>(
                     } else {
                         ctx.wlocal.push(u);
                     }
+                    if trace::COMPILED {
+                        probes += 1;
+                    }
                 }
                 if ctx.wlocal.is_empty() {
                     continue;
+                }
+                if trace::COMPILED {
+                    colored += ctx.wlocal.len() as u64;
                 }
                 // Take the local queue so the second pass iterates a slice
                 // (no per-element index bound check) while `ctx.fb` stays
@@ -170,6 +196,14 @@ fn color_net_two_pass<F: ForbiddenSet, I: CsrIndex>(
                 }
                 ctx.wlocal = wlocal;
             }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::VerticesColored, colored);
+                    local.add(trace::Counter::ForbiddenProbes, probes);
+                    r.merge(tid, &local);
+                }
+            }
         });
     });
 }
@@ -187,9 +221,12 @@ pub fn remove_conflicts_net<F: ForbiddenSet, I: CsrIndex>(
     sched: Sched,
     scratch: &ThreadScratch<ThreadCtx<F, I>>,
 ) {
+    let rec = pool.tracer();
     pool.for_sched(sched, g.n_nets(), NET_CHUNK, |tid, range| {
         par::faults::fire("bgpc.conflict", tid);
         scratch.with(tid, |ctx| {
+            let mut conflicts = 0u64;
+            let mut probes = 0u64;
             for v in range {
                 ctx.fb.advance();
                 for &u in g.vtxs(v) {
@@ -197,10 +234,24 @@ pub fn remove_conflicts_net<F: ForbiddenSet, I: CsrIndex>(
                     if cu != UNCOLORED {
                         if ctx.fb.contains(cu) {
                             colors.clear(u as usize);
+                            if trace::COMPILED {
+                                conflicts += 1;
+                            }
                         } else {
                             ctx.fb.insert(cu);
+                            if trace::COMPILED {
+                                probes += 1;
+                            }
                         }
                     }
+                }
+            }
+            if trace::COMPILED {
+                if let Some(r) = rec {
+                    let mut local = trace::CounterSheet::new();
+                    local.add(trace::Counter::ConflictsDetected, conflicts);
+                    local.add(trace::Counter::ForbiddenProbes, probes);
+                    r.merge(tid, &local);
                 }
             }
         });

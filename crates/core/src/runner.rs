@@ -11,6 +11,7 @@ use crate::error::{validate_order, ColoringError};
 use crate::forbidden::ForbiddenSet;
 use crate::metrics::{
     count_distinct_colors, ColoringResult, DegradeReason, FailedPhase, IterationMetrics,
+    ThreadIterStats,
 };
 use crate::schedule::PhaseKind;
 use crate::workqueue::SharedQueue;
@@ -83,7 +84,7 @@ const DENSE_NET_THRESHOLD: usize = 128;
 /// [`color_bgpc`] with explicit [`RunnerOpts`]. Picks the forbidden-set
 /// representation per instance: the word-packed [`crate::BitStampSet`]
 /// by default, the per-color [`crate::StampSet`] when the largest net
-/// exceeds [`DENSE_NET_THRESHOLD`] (insert-dominated regime). Use
+/// exceeds `DENSE_NET_THRESHOLD` (insert-dominated regime). Use
 /// [`color_bgpc_with_set`] to force a representation.
 pub fn color_bgpc_with_opts<I: CsrIndex>(
     g: &BipartiteGraph<I>,
@@ -121,6 +122,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
     let mut w: Vec<u32> = order.to_vec();
     let mut iterations = Vec::new();
     let mut degraded: Option<DegradeReason> = None;
+    let rec = pool.tracer();
     let start = Instant::now();
 
     let mut iter = 0usize;
@@ -133,7 +135,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 cap: opts.max_iterations,
             });
             let queue_in = w.len();
-            repair_sequential(g, order, &colors);
+            traced_repair(g, order, &colors, rec, iter);
             w.clear();
             iterations.push(IterationMetrics {
                 iter,
@@ -143,6 +145,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 color_time: start.elapsed(),
                 conflict_time: Duration::ZERO,
                 queue_out: 0,
+                per_thread: Vec::new(),
             });
             break;
         }
@@ -151,6 +154,12 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
         let color_kind = schedule.color_kind(iter);
         let conflict_kind = schedule.conflict_kind(iter);
 
+        // Counter snapshots bracket each phase so the per-iteration
+        // `ThreadIterStats` are exact deltas of the monotonic sheets; the
+        // runner itself executes on team member 0 between regions, which
+        // is the reader side of the recorder's partitioning contract.
+        let snap_start = rec.map(|r| r.snapshot_counters());
+        let color_start_ns = rec.map(|r| r.now_ns());
         let t_color = Instant::now();
         let color_outcome = par::contain(|| match color_kind {
             PhaseKind::Vertex => vertex::color_workqueue_vertex(
@@ -174,6 +183,16 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
             ),
         });
         let color_time = t_color.elapsed();
+        if let (Some(r), Some(ts)) = (rec, color_start_ns) {
+            r.record_span(
+                0,
+                trace::SpanKind::Color,
+                iter as u32,
+                ts,
+                r.now_ns().saturating_sub(ts),
+            );
+        }
+        let snap_color = rec.map(|r| r.snapshot_counters());
 
         if let Err(fault) = color_outcome {
             degraded = Some(DegradeReason::WorkerPanic {
@@ -181,7 +200,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 iter,
                 message: fault.first_message(),
             });
-            repair_sequential(g, order, &colors);
+            traced_repair(g, order, &colors, rec, iter);
             w.clear();
             iterations.push(IterationMetrics {
                 iter,
@@ -191,10 +210,12 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 color_time,
                 conflict_time: Duration::ZERO,
                 queue_out: 0,
+                per_thread: Vec::new(),
             });
             break;
         }
 
+        let conflict_start_ns = rec.map(|r| r.now_ns());
         let t_conflict = Instant::now();
         let conflict_outcome = par::contain(|| match conflict_kind {
             PhaseKind::Vertex => vertex::remove_conflicts_vertex(
@@ -213,6 +234,15 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
             }
         });
         let conflict_time = t_conflict.elapsed();
+        if let (Some(r), Some(ts)) = (rec, conflict_start_ns) {
+            r.record_span(
+                0,
+                trace::SpanKind::Conflict,
+                iter as u32,
+                ts,
+                r.now_ns().saturating_sub(ts),
+            );
+        }
 
         let wnext = match conflict_outcome {
             Ok(wnext) => wnext,
@@ -222,7 +252,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                     iter,
                     message: fault.first_message(),
                 });
-                repair_sequential(g, order, &colors);
+                traced_repair(g, order, &colors, rec, iter);
                 w.clear();
                 iterations.push(IterationMetrics {
                     iter,
@@ -232,10 +262,29 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                     color_time,
                     conflict_time,
                     queue_out: 0,
+                    per_thread: Vec::new(),
                 });
                 break;
             }
         };
+
+        let per_thread = per_thread_slices(&snap_start, &snap_color, rec);
+        if trace::COMPILED && conflict_kind == PhaseKind::Vertex && !per_thread.is_empty() {
+            // Trace/queue invariant: the vertex-based conflict phase pushes
+            // each loser exactly once, so the merged per-thread conflict
+            // counts must equal |W_next|. (Net-based phases rebuild the
+            // queue from *all* uncolored vertices, which can include
+            // vertices the net coloring never reached — no equality there.)
+            let counted: u64 = per_thread
+                .iter()
+                .map(|t| t.conflict.get(trace::Counter::ConflictsDetected))
+                .sum();
+            debug_assert_eq!(
+                counted,
+                wnext.len() as u64,
+                "per-thread conflict counts disagree with queue size"
+            );
+        }
 
         iterations.push(IterationMetrics {
             iter,
@@ -245,6 +294,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
             color_time,
             conflict_time,
             queue_out: wnext.len(),
+            per_thread,
         });
         w = wnext;
         iter += 1;
@@ -258,6 +308,53 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
         iterations,
         total_time: start.elapsed(),
         degraded,
+    }
+}
+
+/// Builds the per-iteration thread slices from the phase-bracketing
+/// counter snapshots: `color = mid − start`, `conflict = now − mid`.
+/// Returns an empty vec when tracing is off. Shared with the D2GC driver,
+/// which brackets its phases the same way.
+pub(crate) fn per_thread_slices(
+    snap_start: &Option<Vec<trace::CounterSheet>>,
+    snap_color: &Option<Vec<trace::CounterSheet>>,
+    rec: Option<&trace::Recorder>,
+) -> Vec<ThreadIterStats> {
+    match (snap_start, snap_color, rec) {
+        (Some(start), Some(mid), Some(r)) => {
+            let end = r.snapshot_counters();
+            mid.iter()
+                .enumerate()
+                .map(|(tid, m)| ThreadIterStats {
+                    tid,
+                    color: m.delta(&start[tid]),
+                    conflict: end[tid].delta(m),
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// [`repair_sequential`] wrapped in a [`trace::SpanKind::Repair`] span so
+/// degraded runs are visible (and attributable) in the trace timeline.
+fn traced_repair<I: CsrIndex>(
+    g: &BipartiteGraph<I>,
+    order: &[u32],
+    colors: &Colors,
+    rec: Option<&trace::Recorder>,
+    iter: usize,
+) {
+    let ts = rec.map(|r| r.now_ns());
+    repair_sequential(g, order, colors);
+    if let (Some(r), Some(ts)) = (rec, ts) {
+        r.record_span(
+            0,
+            trace::SpanKind::Repair,
+            iter as u32,
+            ts,
+            r.now_ns().saturating_sub(ts),
+        );
     }
 }
 

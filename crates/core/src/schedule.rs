@@ -4,6 +4,22 @@
 //! removal, where `V` is vertex-based and `N` is net-based; a number after
 //! `N` bounds how many initial iterations stay net-based before switching
 //! to the vertex-based (64D) variant (paper §VI).
+//!
+//! ```
+//! use bgpc::{PhaseKind, Schedule};
+//!
+//! // Parse a paper label and inspect which traversal each iteration runs.
+//! let s = Schedule::from_name("n1-n2").expect("a Table III label");
+//! assert_eq!(s.name(), "N1-N2");
+//! assert_eq!(s.color_kind(0), PhaseKind::Net); // first iteration: Alg. 8
+//! assert_eq!(s.color_kind(1), PhaseKind::Vertex); // then 64D
+//! assert_eq!(s.conflict_kind(1), PhaseKind::Net); // net removal twice
+//! assert_eq!(s.conflict_kind(2), PhaseKind::Vertex);
+//!
+//! // The chunk-scheduling policy is an extra axis on top of the labels.
+//! let stealing = Schedule::v_v_64d().with_sched(par::Sched::Stealing);
+//! assert_eq!(stealing.name(), "V-V-64D");
+//! ```
 
 use crate::net::NetColoringVariant;
 use crate::Balance;

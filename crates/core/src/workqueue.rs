@@ -55,7 +55,7 @@ impl SharedQueue {
     /// Panics if the queue is full (see the overflow invariant above).
     #[inline]
     pub fn push(&self, w: u32) {
-        let slot = self.len.fetch_add(1, Ordering::Relaxed);
+        let slot = self.len.fetch_add(1, Ordering::AcqRel);
         assert!(slot < self.buf.len(), "shared work queue overflow");
         self.buf[slot].store(w, Ordering::Relaxed);
     }
@@ -81,7 +81,7 @@ impl SharedQueue {
         if stage.is_empty() {
             return;
         }
-        let base = self.len.fetch_add(stage.len(), Ordering::Relaxed);
+        let base = self.len.fetch_add(stage.len(), Ordering::AcqRel);
         assert!(
             base <= self.buf.len() && stage.len() <= self.buf.len() - base,
             "shared work queue overflow"
@@ -94,12 +94,21 @@ impl SharedQueue {
 
     /// Number of entries pushed so far.
     ///
+    /// The tail is advanced with `AcqRel` read-modify-writes and read here
+    /// with `Acquire`, so a value observed mid-region is never ahead of
+    /// the pushes it reports — which is what lets debug assertions compare
+    /// this length against the trace counter totals the conflict kernels
+    /// accumulate (the runner checks
+    /// `Σ_t conflicts_detected(t) == |W_next|` for vertex-based phases)
+    /// without racing under `par::Sched::Stealing`. The previous `Relaxed`
+    /// load was only safe after a join barrier.
+    ///
     /// # Panics
     /// Panics if the tail counter passed the buffer — possible only after
     /// an overflow panic was caught and the queue used anyway, and
     /// surfaced loudly here instead of silently truncating.
     pub fn len(&self) -> usize {
-        let n = self.len.load(Ordering::Relaxed);
+        let n = self.len.load(Ordering::Acquire);
         assert!(
             n <= self.buf.len(),
             "shared work queue overflowed ({n} > capacity {}); \

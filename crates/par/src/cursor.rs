@@ -47,10 +47,19 @@ impl ChunkCursor {
         Some(start..(start + self.chunk).min(self.len))
     }
 
-    /// Raw counter value, for bounded-growth assertions in tests.
-    #[cfg(test)]
-    fn raw_next(&self) -> usize {
-        self.next.load(Ordering::Relaxed)
+    /// Observes the raw claim counter with `Acquire` ordering — the
+    /// read-side of the observability API, used by the bounded-growth
+    /// invariants in tests and by debug assertions that compare the
+    /// cursor's progress against trace counter totals.
+    ///
+    /// Claims use `fetch_add`, which is a read-modify-write the `Acquire`
+    /// load synchronizes with, so a value read here is never ahead of the
+    /// claims it reports — unlike the `Relaxed` load this replaced, which
+    /// made mid-region assertions racy under [`crate::Sched::Stealing`]'s
+    /// mixed cursor/steal fallback. The fast-path claim itself stays
+    /// `Relaxed`.
+    pub fn issued(&self) -> usize {
+        self.next.load(Ordering::Acquire)
     }
 
     /// Total length of the underlying range.
@@ -118,11 +127,11 @@ mod tests {
         // move at all.
         let cursor = ChunkCursor::new(10, 4);
         while cursor.claim().is_some() {}
-        let settled = cursor.raw_next();
+        let settled = cursor.issued();
         for _ in 0..1000 {
             assert_eq!(cursor.claim(), None);
         }
-        assert_eq!(cursor.raw_next(), settled, "counter grew after exhaustion");
+        assert_eq!(cursor.issued(), settled, "counter grew after exhaustion");
     }
 
     #[test]
@@ -142,9 +151,9 @@ mod tests {
         });
         // Each thread can overshoot by at most one chunk.
         assert!(
-            cursor.raw_next() <= cursor.len() + threads * cursor.chunk(),
+            cursor.issued() <= cursor.len() + threads * cursor.chunk(),
             "counter {} not bounded",
-            cursor.raw_next()
+            cursor.issued()
         );
     }
 

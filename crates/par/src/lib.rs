@@ -28,6 +28,10 @@
 //!   boundary as [`RegionPanic`] values instead of aborting, and
 //!   [`faults`] provides the fail-point registry the fault-injection tests
 //!   use to prove that recovery works.
+//! * [`Pool::set_tracer`] installs a `trace::Recorder` on the team: regions
+//!   then record per-thread busy time and the chunked drivers count claims
+//!   and steals. Without a recorder (the default) the hooks cost one branch
+//!   per region — see the `trace` crate for the full cost model.
 //!
 //! # Example
 //!

@@ -179,6 +179,9 @@ pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Observability sink; `None` (the default) keeps every hook to a
+    /// single branch per region — see [`Pool::set_tracer`].
+    tracer: Option<Arc<trace::Recorder>>,
 }
 
 impl Pool {
@@ -209,12 +212,51 @@ impl Pool {
             shared,
             workers,
             threads,
+            tracer: None,
         }
     }
 
     /// Number of logical threads in the team (including the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Installs an observability recorder on the team.
+    ///
+    /// The recorder must have been created for at least
+    /// [`threads()`](Pool::threads) slots. Once installed, every parallel
+    /// region wraps each member in a [`trace::BusyGuard`] (busy time +
+    /// region span, flushed even when the member panics — `try_run` fault
+    /// containment keeps traces well-formed), and the chunked `for_*`
+    /// drivers count claims and steals. Without a recorder the only cost
+    /// is one `Option` branch per region: tracing is disabled by default.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use par::Pool;
+    ///
+    /// let mut pool = Pool::new(2);
+    /// pool.set_tracer(Arc::new(trace::Recorder::new(pool.threads())));
+    /// pool.for_dynamic(100, 8, |_tid, _range| {});
+    /// let totals = pool.tracer().unwrap().totals();
+    /// assert!(totals.get(trace::Counter::ChunksClaimed) >= 100 / 8);
+    /// assert!(totals.get(trace::Counter::BusyNs) > 0);
+    /// ```
+    pub fn set_tracer(&mut self, tracer: Arc<trace::Recorder>) {
+        assert!(
+            tracer.threads() >= self.threads,
+            "recorder has {} slots for a team of {}",
+            tracer.threads(),
+            self.threads
+        );
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed recorder, if any. Kernels use this to flush their
+    /// locally accumulated counters once per chunk.
+    #[inline]
+    pub fn tracer(&self) -> Option<&trace::Recorder> {
+        self.tracer.as_deref()
     }
 
     /// Executes `f(thread_id)` once on every team member and waits for all
@@ -226,6 +268,25 @@ impl Pool {
     /// callers recover by re-validating results (the coloring runners
     /// re-detect conflicts sequentially).
     pub fn try_run<F>(&self, f: F) -> Result<(), RegionPanic>
+    where
+        F: Fn(usize) + Sync,
+    {
+        match &self.tracer {
+            Some(rec) => {
+                let rec: &trace::Recorder = rec;
+                self.try_run_inner(move |tid| {
+                    // The guard records busy time + a region span on drop,
+                    // so it flushes during a panic unwind too — a contained
+                    // fault still yields a complete trace.
+                    let _busy = rec.busy_guard(tid);
+                    f(tid);
+                })
+            }
+            None => self.try_run_inner(f),
+        }
+    }
+
+    fn try_run_inner<F>(&self, f: F) -> Result<(), RegionPanic>
     where
         F: Fn(usize) + Sync,
     {
@@ -307,9 +368,17 @@ impl Pool {
         F: Fn(usize, Range<usize>) + Sync,
     {
         let cursor = ChunkCursor::new(len, chunk);
+        let rec = self.tracer();
         self.run(|tid| {
+            let mut claims = 0u64;
             while let Some(range) = cursor.claim() {
+                if trace::COMPILED {
+                    claims += 1;
+                }
                 f(tid, range);
+            }
+            if let Some(r) = rec {
+                r.count(tid, trace::Counter::ChunksClaimed, claims);
             }
         });
     }
@@ -330,13 +399,39 @@ impl Pool {
             return self.for_dynamic(len, chunk, f);
         }
         let ranges = StealRanges::new(len, self.threads);
-        self.run(|tid| loop {
-            while let Some(range) = ranges.claim_local(tid, chunk) {
-                f(tid, range);
+        let rec = self.tracer();
+        self.run(|tid| {
+            let mut claims = 0u64;
+            let mut attempts = 0u64;
+            let mut wins = 0u64;
+            loop {
+                while let Some(range) = ranges.claim_local(tid, chunk) {
+                    if trace::COMPILED {
+                        claims += 1;
+                    }
+                    f(tid, range);
+                }
+                match ranges.steal(tid, chunk) {
+                    Some(range) => {
+                        if trace::COMPILED {
+                            attempts += 1;
+                            wins += 1;
+                            claims += 1;
+                        }
+                        f(tid, range)
+                    }
+                    None => {
+                        if trace::COMPILED {
+                            attempts += 1;
+                        }
+                        break;
+                    }
+                }
             }
-            match ranges.steal(tid, chunk) {
-                Some(range) => f(tid, range),
-                None => break,
+            if let Some(r) = rec {
+                r.count(tid, trace::Counter::ChunksClaimed, claims);
+                r.count(tid, trace::Counter::StealsAttempted, attempts);
+                r.count(tid, trace::Counter::StealsWon, wins);
             }
         });
     }
@@ -708,6 +803,85 @@ mod tests {
     fn zero_threads_is_clamped() {
         let pool = Pool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn tracer_counts_dynamic_chunks_and_busy_time() {
+        let mut pool = Pool::new(4);
+        let rec = Arc::new(trace::Recorder::new(4));
+        pool.set_tracer(Arc::clone(&rec));
+        let n = 1000;
+        let chunk = 16;
+        pool.for_dynamic(n, chunk, |_tid, _r| {});
+        let totals = rec.totals();
+        assert_eq!(
+            totals.get(trace::Counter::ChunksClaimed),
+            (n as u64).div_ceil(chunk as u64)
+        );
+        // Every team member ran one region span with busy time.
+        let regions = rec
+            .events()
+            .iter()
+            .filter(|(_, e)| e.kind == trace::SpanKind::Region)
+            .count();
+        assert_eq!(regions, 4);
+        assert!(totals.get(trace::Counter::BusyNs) > 0);
+    }
+
+    #[test]
+    fn tracer_counts_steal_attempts_and_wins() {
+        let mut pool = Pool::new(4);
+        let rec = Arc::new(trace::Recorder::new(4));
+        pool.set_tracer(Arc::clone(&rec));
+        let n = 10_007;
+        let covered = AtomicUsize::new(0);
+        pool.for_stealing(n, 13, |_tid, r| {
+            covered.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(covered.into_inner(), n);
+        let totals = rec.totals();
+        // Every claimed range is counted, local or stolen; every member
+        // ends with one failed steal attempt, so attempts ≥ wins and
+        // attempts ≥ team size.
+        assert!(totals.get(trace::Counter::ChunksClaimed) > 0);
+        assert!(totals.get(trace::Counter::StealsAttempted) >= 4);
+        assert!(
+            totals.get(trace::Counter::StealsAttempted) >= totals.get(trace::Counter::StealsWon)
+        );
+    }
+
+    #[test]
+    fn panicking_worker_still_flushes_busy_span() {
+        let mut pool = Pool::new(3);
+        let rec = Arc::new(trace::Recorder::new(3));
+        pool.set_tracer(Arc::clone(&rec));
+        let err = pool
+            .try_run(|tid| {
+                if tid == 1 {
+                    panic!("injected");
+                }
+            })
+            .expect_err("panic must be contained");
+        assert_eq!(err.threads(), vec![1]);
+        // The faulted member's unwind ran its BusyGuard: all 3 members
+        // have a region span, so the exported trace stays well-formed.
+        let mut span_tids: Vec<usize> = rec
+            .events()
+            .iter()
+            .filter(|(_, e)| e.kind == trace::SpanKind::Region)
+            .map(|(tid, _)| *tid)
+            .collect();
+        span_tids.sort_unstable();
+        assert_eq!(span_tids, vec![0, 1, 2]);
+        let json = trace::chrome_trace_json(&rec, "fault-test");
+        trace::reader::ChromeTrace::parse(&json).expect("trace parses after fault");
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn undersized_recorder_is_rejected() {
+        let mut pool = Pool::new(4);
+        pool.set_tracer(Arc::new(trace::Recorder::new(2)));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //!
 //! * [`grid`] — 2D/3D mesh stencils and banded systems (af_shell10,
 //!   channel, bone010, nlpkkt120, HV15R analogues): quasi-uniform degrees.
-//! * [`rmat`] — recursive-matrix power-law graphs (uk-2002, coPapersDBLP
-//!   analogues): heavy-tailed degrees.
+//! * [`mod@rmat`] — recursive-matrix power-law graphs (uk-2002,
+//!   coPapersDBLP analogues): heavy-tailed degrees.
 //! * [`bipartite`] — rectangular patterns with skewed net-size
 //!   distributions (20M_movielens analogue).
 //! * [`random`] — Erdős–Rényi and uniform bipartite noise, used by tests

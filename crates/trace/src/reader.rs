@@ -1,0 +1,386 @@
+//! Dependency-free chrome-trace reader and schema checker.
+//!
+//! The workspace is hermetic (no registry crates), so this module carries
+//! a minimal recursive-descent JSON parser — enough to load the files the
+//! [`chrome_trace_json`](crate::chrome_trace_json) exporter writes and to
+//! validate third-party traces against the same shape. The
+//! `trace_schema_check` binary and the CI trace smoke are built on it.
+
+/// A parsed JSON value. Objects preserve key order (the exporter's output
+/// is deterministic, which keeps golden tests simple).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`; counter values up to 2^53 round-trip).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Errors carry a byte offset and a short reason.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|_| Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogates would need pairing; the exporter never
+                        // writes them, so map them to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                let rest = &b[*pos..];
+                let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+/// One event from a chrome-trace file (metadata or span).
+#[derive(Clone, Debug)]
+pub struct ReadEvent {
+    /// Event name (`color`, `conflict`, `region`, `thread_name`, ...).
+    pub name: String,
+    /// Phase: `"X"` for complete spans, `"M"` for metadata.
+    pub ph: String,
+    /// Team thread id.
+    pub tid: u64,
+    /// Start timestamp in microseconds (0 for metadata).
+    pub ts_us: f64,
+    /// Duration in microseconds (0 for metadata).
+    pub dur_us: f64,
+}
+
+/// A loaded chrome-trace file.
+///
+/// # Example
+///
+/// Round-trip a recorder through the exporter and read it back:
+///
+/// ```
+/// use trace::{reader::ChromeTrace, Recorder, SpanKind};
+///
+/// let rec = Recorder::new(2);
+/// rec.record_span(0, SpanKind::Color, 0, 1_000, 2_000);
+/// rec.record_span(0, SpanKind::Region, u32::MAX, 1_000, 2_000);
+/// rec.record_span(1, SpanKind::Region, u32::MAX, 3_000, 500);
+///
+/// let json = trace::chrome_trace_json(&rec, "doctest");
+/// let trace = ChromeTrace::parse(&json).expect("well-formed trace");
+///
+/// assert_eq!(trace.spans().count(), 3);
+/// let busy = trace.busy_per_thread(); // sums the `region` spans per tid
+/// assert_eq!(busy.len(), 2);
+/// assert!((busy[0].1 - 2.0).abs() < 1e-9); // tid 0: 2000 ns = 2 us busy
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChromeTrace {
+    /// All events, in file order.
+    pub events: Vec<ReadEvent>,
+}
+
+impl ChromeTrace {
+    /// Parses and validates a chrome-trace JSON document.
+    ///
+    /// Accepts the object form (`{"traceEvents": [...]}`) required by the
+    /// exporter. Every event must carry a string `name`, a string `ph`,
+    /// and a numeric `tid`; `"X"` events must also carry numeric
+    /// `ts`/`dur`. Violations return a description of the first offender —
+    /// this is the "tiny in-repo schema checker" the CI smoke runs.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = parse(text)?;
+        let events = doc
+            .get("traceEvents")
+            .ok_or("missing `traceEvents` key")?
+            .as_arr()
+            .ok_or("`traceEvents` is not an array")?;
+        let mut out = Vec::with_capacity(events.len());
+        for (i, e) in events.iter().enumerate() {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: missing string `name`"))?
+                .to_string();
+            let ph = e
+                .get("ph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: missing string `ph`"))?
+                .to_string();
+            let tid = e
+                .get("tid")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric `tid`"))?
+                as u64;
+            let (ts_us, dur_us) = if ph == "X" {
+                let ts = e
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: `X` event missing numeric `ts`"))?;
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: `X` event missing numeric `dur`"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                (ts, dur)
+            } else {
+                (0.0, 0.0)
+            };
+            out.push(ReadEvent {
+                name,
+                ph,
+                tid,
+                ts_us,
+                dur_us,
+            });
+        }
+        Ok(Self { events: out })
+    }
+
+    /// Iterates the complete (`ph == "X"`) span events.
+    pub fn spans(&self) -> impl Iterator<Item = &ReadEvent> {
+        self.events.iter().filter(|e| e.ph == "X")
+    }
+
+    /// Sums `region` span durations per thread id, ascending by tid —
+    /// the data behind the imbalance table.
+    pub fn busy_per_thread(&self) -> Vec<(u64, f64)> {
+        let mut busy: Vec<(u64, f64)> = Vec::new();
+        for e in self.spans().filter(|e| e.name == "region") {
+            match busy.iter_mut().find(|(tid, _)| *tid == e.tid) {
+                Some((_, acc)) => *acc += e.dur_us,
+                None => busy.push((e.tid, e.dur_us)),
+            }
+        }
+        busy.sort_by_key(|(tid, _)| *tid);
+        busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse(r#"{"a": [1, -2.5, "x\n", true, null], "b": {"c": 3e2}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_f64(), Some(300.0));
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\n")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"s": "unterminated"#).is_err());
+    }
+
+    #[test]
+    fn schema_checker_rejects_missing_fields() {
+        assert!(ChromeTrace::parse(r#"{"other": []}"#).is_err());
+        assert!(ChromeTrace::parse(r#"{"traceEvents": [{"ph": "X"}]}"#).is_err());
+        let no_dur = r#"{"traceEvents": [{"name": "a", "ph": "X", "tid": 0, "ts": 1}]}"#;
+        assert!(ChromeTrace::parse(no_dur).is_err());
+        let neg = r#"{"traceEvents": [
+            {"name": "a", "ph": "X", "tid": 0, "ts": -1, "dur": 2}]}"#;
+        assert!(ChromeTrace::parse(neg).is_err());
+    }
+
+    #[test]
+    fn schema_checker_accepts_minimal_trace() {
+        let ok = r#"{"traceEvents": [
+            {"name": "region", "ph": "X", "tid": 1, "ts": 0.5, "dur": 10},
+            {"name": "thread_name", "ph": "M", "tid": 1, "args": {"name": "t"}}]}"#;
+        let t = ChromeTrace::parse(ok).unwrap();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.spans().count(), 1);
+        assert_eq!(t.busy_per_thread(), vec![(1, 10.0)]);
+    }
+}

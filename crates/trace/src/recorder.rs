@@ -1,0 +1,273 @@
+//! The per-team recorder: one cache-padded slot per thread.
+
+use std::cell::UnsafeCell;
+use std::time::Instant;
+
+use crate::counter::{Counter, CounterSheet};
+use crate::ring::{Event, EventRing, SpanKind};
+
+/// Default per-thread span capacity: a span per phase per iteration plus a
+/// region span per kernel launch stays well under this for every paper
+/// workload; at 32 bytes per event the slot costs 128 KiB.
+pub(crate) const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Pads each slot to two cache lines so neighboring threads never share a
+/// line (same layout contract as `par::CachePadded`; duplicated here
+/// because `par` depends on this crate, not the other way around).
+#[repr(align(128))]
+struct Padded<T>(T);
+
+struct Slot {
+    counters: CounterSheet,
+    ring: EventRing,
+}
+
+/// Collects per-thread counters and spans for one pool's lifetime.
+///
+/// # Write partitioning
+///
+/// The recorder holds one cache-padded slot per logical thread. Mutation
+/// goes through `&self` (so a recorder shared across a team can be written
+/// from inside parallel regions) under the same contract as
+/// `par::ThreadScratch`: **slot `tid` may only be accessed by the team
+/// member with that id, and the aggregate readers
+/// ([`snapshot_counters`](Recorder::snapshot_counters),
+/// [`events`](Recorder::events)) may only run between regions** — the
+/// pool's join barrier orders all slot writes before them. The write path
+/// is lock-free and allocation-free: a counter add is one array store, a
+/// span push writes a fixed ring slot.
+///
+/// # Fault containment
+///
+/// Busy time is recorded by [`BusyGuard`] **on drop**, so when a worker
+/// panics inside a region the unwind still flushes its span and busy-time
+/// counter before `par::Pool::try_run` reports the fault — a contained
+/// panic yields a complete, well-formed trace.
+pub struct Recorder {
+    epoch: Instant,
+    slots: Vec<Padded<UnsafeCell<Slot>>>,
+}
+
+// SAFETY: concurrent access is partitioned by thread id per the contract
+// documented on `Recorder`; distinct slots never alias and aggregate reads
+// are ordered after slot writes by the pool's join barrier.
+unsafe impl Sync for Recorder {}
+
+impl Recorder {
+    /// Creates a recorder for a team of `threads` members with the default
+    /// per-thread ring capacity.
+    pub fn new(threads: usize) -> Self {
+        Self::with_ring_capacity(threads, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a recorder with an explicit per-thread ring capacity
+    /// (`ring_cap` spans per thread; see [`EventRing`]).
+    pub fn with_ring_capacity(threads: usize, ring_cap: usize) -> Self {
+        let slots = (0..threads.max(1))
+            .map(|_| {
+                Padded(UnsafeCell::new(Slot {
+                    counters: CounterSheet::new(),
+                    ring: EventRing::new(ring_cap),
+                }))
+            })
+            .collect();
+        Self {
+            epoch: Instant::now(),
+            slots,
+        }
+    }
+
+    /// Number of per-thread slots.
+    pub fn threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nanoseconds elapsed since the recorder was created — the time base
+    /// of every recorded span.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        // 2^64 ns ≈ 584 years; the cast cannot truncate in practice.
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn slot(&self, tid: usize) -> &UnsafeCell<Slot> {
+        &self.slots[tid].0
+    }
+
+    /// Adds `n` to thread `tid`'s counter `c`.
+    ///
+    /// Must be called from team member `tid` (see the struct-level write
+    /// partitioning contract).
+    #[inline]
+    pub fn count(&self, tid: usize, c: Counter, n: u64) {
+        // SAFETY: slot `tid` is only touched by team member `tid`.
+        let slot = unsafe { &mut *self.slot(tid).get() };
+        slot.counters.add(c, n);
+    }
+
+    /// Merges a locally accumulated sheet into thread `tid`'s counters —
+    /// the kernels batch per-chunk counts in registers and flush once.
+    ///
+    /// Must be called from team member `tid`.
+    #[inline]
+    pub fn merge(&self, tid: usize, local: &CounterSheet) {
+        // SAFETY: slot `tid` is only touched by team member `tid`.
+        let slot = unsafe { &mut *self.slot(tid).get() };
+        slot.counters.merge(local);
+    }
+
+    /// Records a completed span on thread `tid`'s ring.
+    ///
+    /// Must be called from team member `tid`.
+    #[inline]
+    pub fn record_span(&self, tid: usize, kind: SpanKind, iter: u32, ts_ns: u64, dur_ns: u64) {
+        // SAFETY: slot `tid` is only touched by team member `tid`.
+        let slot = unsafe { &mut *self.slot(tid).get() };
+        slot.ring.push(Event {
+            ts_ns,
+            dur_ns,
+            kind,
+            iter,
+        });
+    }
+
+    /// Starts a busy-time span for team member `tid`; the returned guard
+    /// records a [`SpanKind::Region`] span and bumps [`Counter::BusyNs`]
+    /// when dropped — **including during a panic unwind**, which is what
+    /// keeps traces well-formed under `try_run` fault containment.
+    #[inline]
+    pub fn busy_guard(&self, tid: usize) -> BusyGuard<'_> {
+        BusyGuard {
+            rec: self,
+            tid,
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Copies every thread's counter sheet. Call only between parallel
+    /// regions (the join barrier orders slot writes before this read).
+    pub fn snapshot_counters(&self) -> Vec<CounterSheet> {
+        self.slots
+            .iter()
+            // SAFETY: no region is active, so no slot has a live writer.
+            .map(|s| unsafe { (*s.0.get()).counters })
+            .collect()
+    }
+
+    /// Team-total counters (all thread sheets merged). Call only between
+    /// parallel regions.
+    pub fn totals(&self) -> CounterSheet {
+        let mut total = CounterSheet::new();
+        for sheet in self.snapshot_counters() {
+            total.merge(&sheet);
+        }
+        total
+    }
+
+    /// Copies every thread's spans as `(tid, event)` pairs, oldest-first
+    /// per thread. Call only between parallel regions.
+    pub fn events(&self) -> Vec<(usize, Event)> {
+        let mut out = Vec::new();
+        for (tid, s) in self.slots.iter().enumerate() {
+            // SAFETY: no region is active, so no slot has a live writer.
+            let slot = unsafe { &*s.0.get() };
+            out.extend(slot.ring.iter().map(|&e| (tid, e)));
+        }
+        out
+    }
+
+    /// Total spans lost to ring wrap-around across all threads. Call only
+    /// between parallel regions.
+    pub fn spans_dropped(&self) -> u64 {
+        self.slots
+            .iter()
+            // SAFETY: no region is active, so no slot has a live writer.
+            .map(|s| unsafe { (*s.0.get()).ring.overwritten() })
+            .sum()
+    }
+}
+
+/// Drop guard measuring one thread's participation in a parallel region;
+/// see [`Recorder::busy_guard`].
+pub struct BusyGuard<'a> {
+    rec: &'a Recorder,
+    tid: usize,
+    start_ns: u64,
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        let dur = self.rec.now_ns().saturating_sub(self.start_ns);
+        self.rec.count(self.tid, Counter::BusyNs, dur);
+        self.rec
+            .record_span(self.tid, SpanKind::Region, u32::MAX, self.start_ns, dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_partition_by_thread() {
+        let rec = Recorder::new(3);
+        rec.count(0, Counter::VerticesColored, 5);
+        rec.count(2, Counter::VerticesColored, 7);
+        let sheets = rec.snapshot_counters();
+        assert_eq!(sheets[0].get(Counter::VerticesColored), 5);
+        assert_eq!(sheets[1].get(Counter::VerticesColored), 0);
+        assert_eq!(sheets[2].get(Counter::VerticesColored), 7);
+        assert_eq!(rec.totals().get(Counter::VerticesColored), 12);
+    }
+
+    #[test]
+    fn busy_guard_records_span_and_counter_on_drop() {
+        let rec = Recorder::new(1);
+        {
+            let _g = rec.busy_guard(0);
+            std::hint::black_box(0u64);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 0);
+        assert_eq!(events[0].1.kind, SpanKind::Region);
+        assert_eq!(
+            rec.totals().get(Counter::BusyNs),
+            events[0].1.dur_ns,
+            "busy counter and region span must agree"
+        );
+    }
+
+    #[test]
+    fn busy_guard_flushes_during_unwind() {
+        let rec = Recorder::new(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = rec.busy_guard(0);
+            panic!("worker fault");
+        }));
+        assert!(caught.is_err());
+        // The unwind ran the guard's Drop: span + busy time are recorded.
+        assert_eq!(rec.events().len(), 1);
+        assert!(rec.totals().get(Counter::BusyNs) > 0 || rec.events()[0].1.dur_ns == 0);
+    }
+
+    #[test]
+    fn merge_flushes_local_sheet() {
+        let rec = Recorder::new(2);
+        let mut local = CounterSheet::new();
+        local.add(Counter::ForbiddenProbes, 100);
+        local.add(Counter::ChunksClaimed, 1);
+        rec.merge(1, &local);
+        rec.merge(1, &local);
+        let sheets = rec.snapshot_counters();
+        assert_eq!(sheets[1].get(Counter::ForbiddenProbes), 200);
+        assert_eq!(sheets[1].get(Counter::ChunksClaimed), 2);
+    }
+
+    #[test]
+    fn zero_thread_recorder_clamps_to_one_slot() {
+        let rec = Recorder::new(0);
+        assert_eq!(rec.threads(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-capacity wrap-around span buffers.
+
+/// What a recorded span covers. Kinds map to event names in the
+/// chrome-trace export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One thread's participation in a parallel region (busy time).
+    Region,
+    /// A runner-level optimistic coloring phase.
+    Color,
+    /// A runner-level conflict-removal phase.
+    Conflict,
+    /// The sequential repair fallback after a contained fault.
+    Repair,
+}
+
+impl SpanKind {
+    /// Stable name used by the chrome-trace exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Region => "region",
+            SpanKind::Color => "color",
+            SpanKind::Conflict => "conflict",
+            SpanKind::Repair => "repair",
+        }
+    }
+}
+
+/// One completed span, timestamped relative to the recorder's epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Span start, nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Runner iteration the span belongs to (`u32::MAX` when not tied to
+    /// an iteration, e.g. region spans).
+    pub iter: u32,
+}
+
+/// A bounded span buffer that overwrites its oldest entry when full.
+///
+/// Recording must never allocate or block (it runs inside the measured
+/// region, possibly during a panic unwind), so the ring is sized once at
+/// construction and wraps. [`overwritten`](EventRing::overwritten) reports
+/// how many spans were lost to wrapping so exporters can flag truncation
+/// instead of silently presenting a partial timeline.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `cap` spans (allocated eagerly).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends a span, overwriting the oldest one when full.
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        if self.cap == 0 {
+            self.overwritten = self.overwritten.saturating_add(1);
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+            self.overwritten = self.overwritten.saturating_add(1);
+        }
+    }
+
+    /// Number of spans currently stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no span has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans lost to wrap-around (0 when the ring never filled).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates stored spans oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (older, newer) = self.buf.split_at(self.head);
+        newer.iter().chain(older.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 1,
+            kind: SpanKind::Region,
+            iter: u32::MAX,
+        }
+    }
+
+    #[test]
+    fn stores_in_order_below_capacity() {
+        let mut r = EventRing::new(4);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 0);
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wrap_around_keeps_newest_and_counts_losses() {
+        let mut r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 6);
+        // Oldest-first iteration over the surviving (newest) spans.
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wrap_around_exactly_at_capacity_boundary() {
+        let mut r = EventRing::new(3);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.overwritten(), 0);
+        r.push(ev(3));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 1);
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = EventRing::new(0);
+        r.push(ev(0));
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 2);
+        assert_eq!(r.iter().count(), 0);
+    }
+}

@@ -6,6 +6,10 @@
 #   ./scripts/bench.sh            # quick mode (default)
 #   ./scripts/bench.sh --full     # larger scale, more threads/reps
 #   ./scripts/bench.sh --smoke    # seconds-long pipeline exercise
+#   ./scripts/bench.sh --trace    # smoke run + chrome-trace export,
+#                                 # schema-checked; report/trace go under
+#                                 # target/ (does not touch the checked-in
+#                                 # BENCH_coloring.json)
 #
 # Instances are generated from the in-repo synthetic registry with a
 # fixed seed, so consecutive runs time identical work. Every coloring is
@@ -14,12 +18,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE_FLAG="--quick"
+TRACE_MODE=0
 case "${1:-}" in
   --full) MODE_FLAG="" ;;
   --smoke) MODE_FLAG="--smoke" ;;
+  --trace)
+    MODE_FLAG="--smoke"
+    TRACE_MODE=1
+    ;;
   "" | --quick) ;;
   *)
-    echo "usage: $0 [--quick|--full|--smoke]" >&2
+    echo "usage: $0 [--quick|--full|--smoke|--trace]" >&2
     exit 2
     ;;
 esac
@@ -36,11 +45,26 @@ BENCH_NPROC="$(nproc 2>/dev/null || echo unknown)"
 export BENCH_GIT_SHA BENCH_HOSTNAME
 echo "== provenance: sha=${BENCH_GIT_SHA} host=${BENCH_HOSTNAME} threads=${BENCH_NPROC}"
 
+if [[ "$TRACE_MODE" == 1 ]]; then
+  echo "== bench_coloring --smoke --trace (observability smoke)"
+  cargo build --release --offline -p trace --bin trace_schema_check
+  ./target/release/bench_coloring --smoke \
+    --out target/BENCH_trace_smoke.json \
+    --trace target/BENCH_trace_smoke.trace.json
+  echo "== trace_schema_check (chrome-trace schema + imbalance table)"
+  ./target/release/trace_schema_check target/BENCH_trace_smoke.trace.json
+  echo "bench: OK (wrote target/BENCH_trace_smoke.trace.json)"
+  exit 0
+fi
+
 echo "== bench_coloring ${MODE_FLAG:-(full)}"
 # shellcheck disable=SC2086  # MODE_FLAG is intentionally word-split
 ./target/release/bench_coloring ${MODE_FLAG} --out BENCH_coloring.json
 
 echo "== microbench: forbidden-set representations"
 cargo bench --offline -p bench --bench forbidden
+
+echo "== microbench: tracing overhead (on vs off)"
+cargo bench --offline -p bench --bench trace_overhead
 
 echo "bench: OK (wrote BENCH_coloring.json)"

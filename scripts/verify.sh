@@ -38,11 +38,20 @@ step_begin "cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 step_end "clippy"
 
+step_begin "cargo doc --workspace --no-deps --offline (RUSTDOCFLAGS=-D warnings)"
+# Rustdoc is tier-1: broken intra-doc links or missing docs on public
+# items fail verification, keeping the documented observability surface
+# in sync with the code.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+step_end "doc"
+
 step_begin "bench smoke: bench_coloring --smoke (verifies every coloring)"
 # The smoke run exits nonzero if any schedule produces an invalid
 # coloring; its JSON goes under target/ so it never clobbers the
-# checked-in BENCH_coloring.json from scripts/bench.sh.
-./target/release/bench_coloring --smoke --out target/BENCH_smoke.json
+# checked-in BENCH_coloring.json from scripts/bench.sh. --trace routes
+# one instrumented run through the whole observability pipeline.
+./target/release/bench_coloring --smoke --out target/BENCH_smoke.json \
+  --trace target/BENCH_smoke.trace.json
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool target/BENCH_smoke.json >/dev/null
   echo "bench smoke JSON parses"
@@ -51,6 +60,9 @@ else
   grep -q '}' target/BENCH_smoke.json
   echo "bench smoke JSON present (python3 unavailable; shallow check)"
 fi
+# Schema-check the emitted chrome trace and print the smoke run's
+# per-thread busy/imbalance table.
+./target/release/trace_schema_check target/BENCH_smoke.trace.json
 step_end "bench-smoke"
 SMOKE_SECS=$LAST_STEP_SECS
 
