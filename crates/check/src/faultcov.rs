@@ -1,0 +1,199 @@
+//! Fault-coverage checks: every registered fail point must be *caught*.
+//!
+//! The runtime registers four fail points inside its parallel kernels
+//! (`bgpc.color`, `bgpc.conflict`, `d2gc.color`, `d2gc.conflict`, fired
+//! via [`par::faults::fire`]). Surviving an injected panic is necessary
+//! but not sufficient — a runner that silently swallowed the fault and
+//! returned a half-colored result would also "survive". These checks pin
+//! the full containment contract for each point:
+//!
+//! 1. the armed panic actually fires ([`par::faults::hits`] > 0 — a
+//!    check that never executes the faulty path proves nothing),
+//! 2. the run reports it: `degraded` is a
+//!    [`DegradeReason::WorkerPanic`] naming the correct phase, with the
+//!    fail point's message preserved,
+//! 3. the sequential repair still produced a valid, complete coloring.
+//!
+//! The fail-point registry is process-global, so these functions must not
+//! run concurrently with other colorings in the same process. The
+//! `check_smoke` binary runs them serially; the integration test wraps
+//! them in a single `#[test]`.
+
+use std::time::Duration;
+
+use bgpc::verify::{verify_bgpc, verify_d2gc};
+use bgpc::{DegradeReason, FailedPhase, Schedule};
+use graph::{BipartiteGraph, Graph, Ordering};
+use par::faults::{self, FaultAction};
+use par::Pool;
+
+/// One registered fail point and the phase its containment must report.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPoint {
+    /// Registry key, as fired by the kernels.
+    pub point: &'static str,
+    /// Phase the degrade report must name.
+    pub phase: FailedPhase,
+    /// Whether the point lives in the D2GC kernels (else BGPC).
+    pub d2gc: bool,
+}
+
+/// Every fail point the kernels register, with its expected phase.
+pub const FAULT_POINTS: [FaultPoint; 4] = [
+    FaultPoint {
+        point: "bgpc.color",
+        phase: FailedPhase::Color,
+        d2gc: false,
+    },
+    FaultPoint {
+        point: "bgpc.conflict",
+        phase: FailedPhase::Conflict,
+        d2gc: false,
+    },
+    FaultPoint {
+        point: "d2gc.color",
+        phase: FailedPhase::Color,
+        d2gc: true,
+    },
+    FaultPoint {
+        point: "d2gc.conflict",
+        phase: FailedPhase::Conflict,
+        d2gc: true,
+    },
+];
+
+fn run_with_fault(fp: FaultPoint, seed: u64, pool: &Pool) -> Result<(), String> {
+    // Deterministic, conflict-prone instances: dense enough that every
+    // phase of iteration 0 visits many vertices, so a single armed firing
+    // lands regardless of chunk assignment.
+    if fp.d2gc {
+        let m = sparse::gen::erdos_renyi(48, 96, seed);
+        let g = Graph::from_symmetric_matrix(&m);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let schedule = Schedule::v_v_64d();
+        let res = bgpc::d2gc::color_d2gc(&g, &order, &schedule, pool);
+        check_outcome(fp, res.degraded.as_ref(), || {
+            verify_d2gc(&g, &res.colors).map_err(|e| e.to_string())
+        })
+    } else {
+        let m = sparse::gen::bipartite_uniform(64, 64, 512, seed);
+        let g = BipartiteGraph::from_matrix(&m);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let schedule = Schedule::v_v();
+        let res = bgpc::color_bgpc(&g, &order, &schedule, pool);
+        check_outcome(fp, res.degraded.as_ref(), || {
+            verify_bgpc(&g, &res.colors).map_err(|e| e.to_string())
+        })
+    }
+}
+
+fn check_outcome(
+    fp: FaultPoint,
+    degraded: Option<&DegradeReason>,
+    verify: impl FnOnce() -> Result<(), String>,
+) -> Result<(), String> {
+    if faults::hits(fp.point) == 0 {
+        return Err(format!(
+            "fail point `{}` armed but never fired — the check exercised nothing",
+            fp.point
+        ));
+    }
+    match degraded {
+        Some(DegradeReason::WorkerPanic {
+            phase,
+            message,
+            ..
+        }) => {
+            if *phase != fp.phase {
+                return Err(format!(
+                    "fail point `{}` reported in the wrong phase: {phase} (expected {})",
+                    fp.point, fp.phase
+                ));
+            }
+            if !message.contains(fp.point) {
+                return Err(format!(
+                    "degrade report for `{}` lost the fail-point message: {message:?}",
+                    fp.point
+                ));
+            }
+        }
+        other => {
+            return Err(format!(
+                "fail point `{}` fired but the run did not report a worker panic \
+                 (degraded: {other:?}) — the fault was swallowed",
+                fp.point
+            ));
+        }
+    }
+    verify().map_err(|e| {
+        format!(
+            "repair after fail point `{}` left an invalid coloring: {e}",
+            fp.point
+        )
+    })
+}
+
+/// Arms each registered fail point in turn (panic action, any thread),
+/// runs a 4-thread coloring through it, and checks the containment
+/// contract. The registry is reset between points and on exit.
+pub fn check_all_faults_caught(seed: u64) -> Result<(), String> {
+    let pool = Pool::new(4);
+    // The injected panics are expected and contained; silence the default
+    // hook so they don't spray backtraces over the check output. (This
+    // function already requires exclusive use of the process-global fault
+    // registry, so taking the process-global hook adds no new constraint.)
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut result = Ok(());
+    for fp in FAULT_POINTS {
+        faults::reset();
+        faults::arm(fp.point, FaultAction::Panic);
+        let outcome = run_with_fault(fp, seed, &pool);
+        faults::reset();
+        if outcome.is_err() {
+            result = outcome;
+            break;
+        }
+    }
+    std::panic::set_hook(hook);
+    result
+}
+
+/// Deep-mode perturbation: arms each point with repeated short *stalls*
+/// instead of panics. A stall shifts thread interleavings without
+/// aborting anything, so the run must complete clean — valid and
+/// non-degraded — under the skewed timing.
+pub fn check_stall_perturbation(seed: u64) -> Result<(), String> {
+    let pool = Pool::new(4);
+    for fp in FAULT_POINTS {
+        faults::reset();
+        faults::arm_with(
+            fp.point,
+            FaultAction::Stall(Duration::from_micros(200)),
+            32,
+            None,
+        );
+        let outcome = if fp.d2gc {
+            let m = sparse::gen::erdos_renyi(48, 96, seed);
+            let g = Graph::from_symmetric_matrix(&m);
+            let order = Ordering::Natural.vertex_order_d2(&g);
+            let res = bgpc::d2gc::color_d2gc(&g, &order, &Schedule::v_v_64d(), &pool);
+            res.degraded
+                .as_ref()
+                .map(|r| Err(format!("stall on `{}` degraded the run: {r}", fp.point)))
+                .unwrap_or_else(|| verify_d2gc(&g, &res.colors).map_err(|e| e.to_string()))
+        } else {
+            let m = sparse::gen::bipartite_uniform(64, 64, 512, seed);
+            let g = BipartiteGraph::from_matrix(&m);
+            let order = Ordering::Natural.vertex_order_bgpc(&g);
+            let res = bgpc::color_bgpc(&g, &order, &Schedule::v_v(), &pool);
+            res.degraded
+                .as_ref()
+                .map(|r| Err(format!("stall on `{}` degraded the run: {r}", fp.point)))
+                .unwrap_or_else(|| verify_bgpc(&g, &res.colors).map_err(|e| e.to_string()))
+        };
+        faults::reset();
+        outcome?;
+    }
+    Ok(())
+}

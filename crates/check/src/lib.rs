@@ -1,0 +1,36 @@
+//! Deterministic concurrency checker and differential-fuzzing oracle.
+//!
+//! This crate is the runtime's correctness harness, hermetic like the rest
+//! of the workspace (no registry dependencies — the virtual scheduler and
+//! the property layer are built on the in-tree [`rng`] and [`minicheck`]
+//! crates). It attacks the speculative coloring runtime from three sides:
+//!
+//! * [`vsched`] — a loom-style virtual scheduler: protocols are expressed
+//!   as step-wise [`vsched::ThreadProgram`]s and their interleavings are
+//!   enumerated exhaustively (small state spaces) or sampled from a seed
+//!   (large ones). Every failure carries a replayable schedule.
+//! * [`models`] — atomic-granularity models of the `SharedQueue`
+//!   push/flush, `ChunkCursor` claim and `StealRanges` steal-half
+//!   protocols, op-granularity drivers for the real structures, and a
+//!   deliberately-buggy queue the explorer must catch (detection-power
+//!   self-test).
+//! * [`oracle`] — a differential oracle running every schedule,
+//!   balancer, chunk scheduler, forbidden-set representation and index
+//!   width against the sequential baseline on randomized instances,
+//!   checking validity, determinism and color-count bounds.
+//! * [`faultcov`] — proves each registered `par::faults` fail point is
+//!   *caught*: the injected panic fires, the degrade report names the
+//!   right phase, and the repaired coloring verifies.
+//!
+//! The `check_smoke` binary wires all of it into a seeded, time-boxed
+//! tier-1 gate (`scripts/verify.sh`); `scripts/bench.sh --check-deep`
+//! runs the long randomized sweep. On failure both print the seed that
+//! replays the offending case.
+
+pub mod faultcov;
+pub mod models;
+pub mod oracle;
+pub mod vsched;
+
+pub use oracle::{run_case_from_seed, run_oracle_sweep, OracleFailure};
+pub use vsched::{CheckFailure, Coverage, ThreadProgram};

@@ -1,0 +1,12 @@
+//! Fault-coverage integration test.
+//!
+//! A single `#[test]` on purpose: the fail-point registry and the panic
+//! hook are process-global, so the scenarios must run serially and must
+//! not share a binary with tests that run colorings concurrently.
+
+#[test]
+fn every_registered_fail_point_is_caught_reported_and_repaired() {
+    check::faultcov::check_all_faults_caught(0xFA57).unwrap_or_else(|e| panic!("{e}"));
+    // Stall perturbation must leave runs clean (no degrade, valid result).
+    check::faultcov::check_stall_perturbation(0xFA57).unwrap_or_else(|e| panic!("{e}"));
+}

@@ -1,0 +1,19 @@
+//! Differential-oracle properties under the minicheck shrinking harness.
+//!
+//! The same case logic the seeded `check_smoke` sweep runs, driven from
+//! [`minicheck::Gen`] instead of a raw PCG stream: when a case fails,
+//! minicheck greedily shrinks the recorded choice stream, so the panic
+//! message carries a *minimal* failing instance/configuration rather than
+//! whatever large case tripped first.
+
+use check::oracle::{run_bgpc_case, run_d2gc_case};
+
+#[test]
+fn oracle_bgpc_never_diverges_from_the_sequential_baseline() {
+    minicheck::check("oracle_bgpc", 120, run_bgpc_case);
+}
+
+#[test]
+fn oracle_d2gc_never_diverges_from_the_sequential_baseline() {
+    minicheck::check("oracle_d2gc", 120, run_d2gc_case);
+}

@@ -49,6 +49,21 @@ pub struct BalancerState {
     pub colnext: Color,
 }
 
+impl BalancerState {
+    /// Resets both cursors to the fresh-run state.
+    ///
+    /// The cursors are *per run*, not per thread lifetime: a `colmax`
+    /// carried over from a previous coloring of a different graph skews
+    /// B1's reverse-fit interval and B2's rotation floor, making
+    /// back-to-back `color()` calls on a reused
+    /// [`crate::ctx::ThreadCtx`] non-reproducible. Call this (or
+    /// [`crate::ctx::ThreadCtx::reset_for_run`]) before every run that
+    /// reuses a workspace.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 impl Balance {
     /// Chooses a color for entity `id` (vertex or net — B1 alternates on
     /// its parity) given the forbidden set `F`, updating the thread state.

@@ -50,6 +50,24 @@ impl<F: ForbiddenSet, I: CsrIndex> ThreadCtx<F, I> {
             _width: PhantomData,
         }
     }
+
+    /// Resets the per-run state so the workspace can be reused for a
+    /// second coloring call — on the same or a different graph — with
+    /// results identical to a fresh workspace.
+    ///
+    /// The forbidden set needs no reset (its stamp protocol makes stale
+    /// marks invisible), but the balancer cursors are per-run state (see
+    /// [`BalancerState::reset`]) and the queues/stage must not leak
+    /// entries from an aborted previous run. The runners call this
+    /// defensively at the start of every run; call it yourself when
+    /// driving the `vertex`/`net` kernels directly with a long-lived
+    /// scratch set.
+    pub fn reset_for_run(&mut self) {
+        self.balancer.reset();
+        self.local_queue.clear();
+        self.wlocal.clear();
+        self.stage.clear();
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,10 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
     debug_assert_eq!(order.len(), n);
     let mut scratch: ThreadScratch<ThreadCtx<F, I>> =
         ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 64));
+    // Per-run state reset, mirroring [`crate::runner`] (see ThreadCtx docs).
+    for ctx in scratch.iter_mut() {
+        ctx.reset_for_run();
+    }
     let colors = Colors::new(n);
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
 
@@ -229,6 +233,29 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 break;
             }
         };
+
+        // Dropped eager-queue entries are losers that will never be
+        // recolored — flag the overflow and repair, as in [`crate::runner`].
+        if let Some(q) = eager_queue.as_ref() {
+            if q.has_overflowed() {
+                degraded = Some(DegradeReason::QueueOverflow {
+                    iter,
+                    dropped: q.dropped(),
+                });
+                traced_repair(g, order, &colors, rec, iter);
+                iterations.push(IterationMetrics {
+                    iter,
+                    queue_in,
+                    color_kind,
+                    conflict_kind,
+                    color_time,
+                    conflict_time,
+                    queue_out: 0,
+                    per_thread: Vec::new(),
+                });
+                break;
+            }
+        }
 
         let per_thread = per_thread_slices(&snap_start, &snap_color, rec);
         if trace::COMPILED && conflict_kind == PhaseKind::Vertex && !per_thread.is_empty() {

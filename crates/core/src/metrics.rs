@@ -80,6 +80,16 @@ pub enum DegradeReason {
         /// Captured panic message (first panicking thread).
         message: String,
     },
+    /// The eager shared conflict queue overflowed: entries were dropped
+    /// (see [`crate::workqueue::SharedQueue::dropped`]), meaning some
+    /// conflict losers were never re-queued. The runner repairs the
+    /// partial coloring sequentially, so the result is still valid.
+    QueueOverflow {
+        /// Iteration whose conflict drain discovered the overflow.
+        iter: usize,
+        /// Number of entries the queue rejected.
+        dropped: usize,
+    },
 }
 
 impl std::fmt::Display for FailedPhase {
@@ -102,6 +112,11 @@ impl std::fmt::Display for DegradeReason {
                 iter,
                 message,
             } => write!(f, "panic in {phase} (iteration {iter}): {message}"),
+            DegradeReason::QueueOverflow { iter, dropped } => write!(
+                f,
+                "shared conflict queue overflowed (iteration {iter}): \
+                 {dropped} entries dropped"
+            ),
         }
     }
 }

@@ -116,6 +116,12 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
     let mut scratch: ThreadScratch<ThreadCtx<F, I>> = ThreadScratch::new(pool.threads(), |_| {
         ThreadCtx::new(g.max_net_size() + 64)
     });
+    // Balancer cursors and queues are per-run state: reset defensively so
+    // the run is reproducible even if the scratch construction above is
+    // ever hoisted out and reused across calls (see ThreadCtx docs).
+    for ctx in scratch.iter_mut() {
+        ctx.reset_for_run();
+    }
     // Eager shared queue, only allocated when the schedule needs it.
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
 
@@ -267,6 +273,32 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 break;
             }
         };
+
+        // A dropped eager-queue entry is a conflict loser that will never
+        // be recolored — left alone, the loop would terminate with that
+        // stale, conflicting color in place. Surface the overflow as an
+        // explicit degraded run and repair sequentially, exactly like a
+        // contained fault.
+        if let Some(q) = eager_queue.as_ref() {
+            if q.has_overflowed() {
+                degraded = Some(DegradeReason::QueueOverflow {
+                    iter,
+                    dropped: q.dropped(),
+                });
+                traced_repair(g, order, &colors, rec, iter);
+                iterations.push(IterationMetrics {
+                    iter,
+                    queue_in,
+                    color_kind,
+                    conflict_kind,
+                    color_time,
+                    conflict_time,
+                    queue_out: 0,
+                    per_thread: Vec::new(),
+                });
+                break;
+            }
+        }
 
         let per_thread = per_thread_slices(&snap_start, &snap_color, rec);
         if trace::COMPILED && conflict_kind == PhaseKind::Vertex && !per_thread.is_empty() {

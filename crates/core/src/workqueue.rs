@@ -24,18 +24,27 @@ pub const STAGE_CAPACITY: usize = 64;
 /// An eager shared queue: bounded, lock-free pushes via a single
 /// `fetch_add` tail counter.
 ///
-/// # Overflow invariant
+/// # Overflow semantics
 ///
 /// Callers size the queue with the number of vertices, which bounds the
 /// number of conflicts per iteration, so the tail counter can never
-/// legitimately pass the buffer. The invariant is *checked* — once per
-/// batch at flush time (and per entry for unstaged [`push`](Self::push))
-/// — and a violation panics before any out-of-range entry becomes
-/// visible. A region that joins without panicking therefore left the
-/// counter within bounds, which is what [`len`](Self::len) relies on.
+/// legitimately pass the buffer. Should it happen anyway (a sizing bug, a
+/// kernel pushing a vertex twice), the queue must not tear down the whole
+/// parallel region from inside the hot loop: out-of-range entries are
+/// *dropped* and *counted* in the [`dropped`](Self::dropped) counter, and
+/// [`len`](Self::len) clamps the (possibly overshot) tail to the capacity
+/// so drain paths never index past the buffer. A dropped entry is a lost
+/// work item — the vertex keeps its stale, possibly conflicting color —
+/// so the runners treat a non-zero drop count after the drain as an
+/// explicit degraded-run signal
+/// ([`crate::DegradeReason::QueueOverflow`]) and repair sequentially.
 pub struct SharedQueue {
     buf: Box<[AtomicU32]>,
     len: AtomicUsize,
+    /// Entries rejected because the tail had passed the buffer. Sticky
+    /// across [`clear`](Self::clear): the signal survives the drain that
+    /// discovers it.
+    dropped: AtomicUsize,
 }
 
 impl SharedQueue {
@@ -46,17 +55,21 @@ impl SharedQueue {
         Self {
             buf: v.into_boxed_slice(),
             len: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
         }
     }
 
     /// Appends `w` (one `fetch_add` per entry — the unstaged baseline).
     ///
-    /// # Panics
-    /// Panics if the queue is full (see the overflow invariant above).
+    /// A push that lands at or past the capacity is dropped and counted
+    /// (see the overflow semantics above) instead of panicking mid-region.
     #[inline]
     pub fn push(&self, w: u32) {
         let slot = self.len.fetch_add(1, Ordering::AcqRel);
-        assert!(slot < self.buf.len(), "shared work queue overflow");
+        if slot >= self.buf.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.buf[slot].store(w, Ordering::Relaxed);
     }
 
@@ -73,26 +86,32 @@ impl SharedQueue {
     }
 
     /// Flushes a staging buffer into the shared tail: one `fetch_add` for
-    /// the whole batch. This is where the overflow invariant is checked.
+    /// the whole batch.
     ///
-    /// # Panics
-    /// Panics if the batch does not fit (see the overflow invariant).
+    /// When the batch does not fit, the in-range prefix is written and the
+    /// remainder is dropped and counted (see the overflow semantics above);
+    /// the stage is cleared either way.
     pub fn flush(&self, stage: &mut Vec<u32>) {
         if stage.is_empty() {
             return;
         }
         let base = self.len.fetch_add(stage.len(), Ordering::AcqRel);
-        assert!(
-            base <= self.buf.len() && stage.len() <= self.buf.len() - base,
-            "shared work queue overflow"
-        );
-        for (slot, &w) in self.buf[base..base + stage.len()].iter().zip(stage.iter()) {
+        let fits = if base >= self.buf.len() {
+            0
+        } else {
+            stage.len().min(self.buf.len() - base)
+        };
+        for (slot, &w) in self.buf[base..base + fits].iter().zip(stage.iter()) {
             slot.store(w, Ordering::Relaxed);
+        }
+        if fits < stage.len() {
+            self.dropped
+                .fetch_add(stage.len() - fits, Ordering::Relaxed);
         }
         stage.clear();
     }
 
-    /// Number of entries pushed so far.
+    /// Number of entries readable from the queue, clamped to the capacity.
     ///
     /// The tail is advanced with `AcqRel` read-modify-writes and read here
     /// with `Acquire`, so a value observed mid-region is never ahead of
@@ -103,19 +122,24 @@ impl SharedQueue {
     /// without racing under `par::Sched::Stealing`. The previous `Relaxed`
     /// load was only safe after a join barrier.
     ///
-    /// # Panics
-    /// Panics if the tail counter passed the buffer — possible only after
-    /// an overflow panic was caught and the queue used anyway, and
-    /// surfaced loudly here instead of silently truncating.
+    /// An overshot tail (a caught overflow) is clamped rather than
+    /// reported raw, so drain paths never index past the buffer; the
+    /// overshoot itself is visible via [`dropped`](Self::dropped), which
+    /// the runners check after every eager drain.
     pub fn len(&self) -> usize {
-        let n = self.len.load(Ordering::Acquire);
-        assert!(
-            n <= self.buf.len(),
-            "shared work queue overflowed ({n} > capacity {}); \
-             reading it would drop entries",
-            self.buf.len()
-        );
-        n
+        self.len.load(Ordering::Acquire).min(self.buf.len())
+    }
+
+    /// Number of entries dropped because the queue was full — the explicit
+    /// degraded-run signal of the overflow semantics. Zero on every
+    /// healthy run. Sticky: [`clear`](Self::clear) does not reset it.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Whether any entry has ever been dropped on this queue.
+    pub fn has_overflowed(&self) -> bool {
+        self.dropped() > 0
     }
 
     /// Whether the queue is empty.
@@ -124,7 +148,9 @@ impl SharedQueue {
     }
 
     /// Resets the queue to empty (call between iterations, outside
-    /// parallel regions).
+    /// parallel regions). The [`dropped`](Self::dropped) counter is
+    /// deliberately *not* reset: it is the sticky evidence a drain needs
+    /// to flag the run as degraded after the fact.
     pub fn clear(&self) {
         self.len.store(0, Ordering::Relaxed);
     }
@@ -252,33 +278,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
-    fn overflow_panics() {
+    fn overflow_drops_and_counts_instead_of_panicking() {
+        // Regression for the old panic-on-overflow semantics: a full queue
+        // must reject the extra entry, count it, and keep every in-range
+        // entry readable.
         let q = SharedQueue::new(1);
-        q.push(0);
-        q.push(1);
+        q.push(7);
+        q.push(8);
+        assert_eq!(q.dropped(), 1, "second push must be counted as dropped");
+        assert!(q.has_overflowed());
+        assert_eq!(q.len(), 1, "len clamps to capacity");
+        assert_eq!(q.drain_to_vec(), vec![7]);
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
-    fn staged_overflow_panics_at_flush() {
+    fn staged_overflow_writes_prefix_and_counts_rest() {
         let q = SharedQueue::new(3);
         let mut stage = vec![1, 2, 3, 4];
         q.flush(&mut stage);
+        assert!(stage.is_empty(), "stage is cleared even on overflow");
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drain_to_vec(), vec![1, 2, 3]);
     }
 
     #[test]
-    fn len_reports_overflow_loudly_instead_of_masking() {
-        // Regression for the silent `.min(capacity)` truncation: force the
-        // counter past the buffer (as a caught overflow panic would leave
-        // it) and check that reading the queue panics rather than silently
-        // dropping entries.
+    fn flush_past_capacity_drops_whole_batch() {
+        // Tail already at capacity: the entire batch lands out of range.
+        let q = SharedQueue::new(2);
+        q.push(0);
+        q.push(1);
+        let mut stage = vec![5, 6, 7];
+        q.flush(&mut stage);
+        assert_eq!(q.dropped(), 3);
+        assert_eq!(q.drain_to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn dropped_counter_survives_clear() {
+        // The drain that discovers an overflow clears the queue; the
+        // degraded-run signal must survive it.
         let q = SharedQueue::new(1);
-        q.push(7);
-        let overflow = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.push(8)));
-        assert!(overflow.is_err(), "second push must overflow");
-        let read = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.len()));
-        assert!(read.is_err(), "len() must refuse to mask the overflow");
+        q.push(1);
+        q.push(2);
+        let _ = q.drain_to_vec();
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 1, "clear must not reset the drop count");
+    }
+
+    #[test]
+    fn concurrent_overflow_loses_nothing_in_range() {
+        // 4 threads push 4x the capacity: exactly `capacity` entries must
+        // land, the rest must be counted, and no push may panic or write
+        // out of bounds.
+        let cap = 128;
+        let q = SharedQueue::new(cap);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..cap as u32 {
+                        q.push(t * cap as u32 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.len(), cap);
+        assert_eq!(q.dropped(), 3 * cap);
+        let v = q.drain_to_vec();
+        assert_eq!(v.len(), cap);
+        let unique: std::collections::HashSet<u32> = v.into_iter().collect();
+        assert_eq!(unique.len(), cap, "no slot may be written twice");
     }
 
     #[test]

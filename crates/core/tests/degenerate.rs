@@ -1,0 +1,153 @@
+//! Degenerate-instance coverage: every schedule × both chunk schedulers
+//! on the shapes most likely to break boundary arithmetic — an empty
+//! `V_A`, isolated (pin-less) nets and net-less vertices, a single
+//! vertex, a star (one net covering everything), and nets sized exactly
+//! on the 128-color forbidden-set dispatch boundary.
+
+use bgpc::verify::{verify_bgpc, verify_d2gc};
+use bgpc::Schedule;
+use graph::{BipartiteGraph, Graph, Ordering};
+use par::{Pool, Sched};
+use sparse::Csr;
+
+/// Every BGPC schedule in every chunk-scheduler flavor.
+fn all_configs() -> Vec<Schedule> {
+    let mut v = Vec::new();
+    for s in Schedule::all() {
+        for sched in Sched::all() {
+            v.push(s.clone().with_sched(sched));
+        }
+    }
+    v
+}
+
+/// Runs every configuration on the instance and verifies each result.
+/// Returns the distinct-color counts observed (one per configuration).
+fn run_all_bgpc(m: &Csr, threads: usize) -> Vec<usize> {
+    let g = BipartiteGraph::from_matrix(m);
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new(threads);
+    all_configs()
+        .iter()
+        .map(|schedule| {
+            let res = bgpc::color_bgpc(&g, &order, schedule, &pool);
+            verify_bgpc(&g, &res.colors)
+                .unwrap_or_else(|e| panic!("{} invalid on degenerate instance: {e}", schedule.name()));
+            assert!(
+                res.degraded.is_none(),
+                "{} degraded on a degenerate instance: {:?}",
+                schedule.name(),
+                res.degraded
+            );
+            res.num_colors
+        })
+        .collect()
+}
+
+#[test]
+fn empty_vertex_side() {
+    // No vertices at all: nothing to color, nothing to verify, and no
+    // schedule may loop, panic or divide by the empty order.
+    let m = Csr::from_rows(0, &[]);
+    for k in run_all_bgpc(&m, 4) {
+        assert_eq!(k, 0, "an empty V_A has zero colors");
+    }
+}
+
+#[test]
+fn isolated_nets_and_vertices() {
+    // Nets 0 and 2 have no pins; vertices 2 and 3 belong to no net.
+    // Pin-less nets must not corrupt net-based phases, and net-less
+    // vertices must still be colored (color 0 is always legal for them).
+    let m = Csr::from_rows(4, &[vec![], vec![0, 1], vec![]]);
+    for k in run_all_bgpc(&m, 4) {
+        assert_eq!(k, 2, "only the shared net forces a second color");
+    }
+}
+
+#[test]
+fn single_vertex_single_net() {
+    let m = Csr::from_rows(1, &[vec![0]]);
+    for k in run_all_bgpc(&m, 4) {
+        assert_eq!(k, 1);
+    }
+}
+
+#[test]
+fn star_net_forces_all_distinct() {
+    // One net covering every vertex: the distance-2 graph is complete, so
+    // every schedule must use exactly n colors.
+    let n = 23;
+    let m = Csr::from_rows(n, &[(0..n as u32).collect()]);
+    for k in run_all_bgpc(&m, 4) {
+        assert_eq!(k, n);
+    }
+}
+
+#[test]
+fn net_size_on_the_dense_dispatch_boundary() {
+    // The runner dispatches to the word-packed bitset at max_net_size ≤
+    // 128 and the stamp array above it. A star of exactly 128 pins
+    // exercises the last bitset instance (needing colors 0..=127, the
+    // full bitmap), 129 the first stamp instance — both must produce
+    // exactly net-size colors on every schedule.
+    for n in [128usize, 129] {
+        let m = Csr::from_rows(n, &[(0..n as u32).collect()]);
+        for k in run_all_bgpc(&m, 4) {
+            assert_eq!(k, n, "star of {n} pins must need {n} colors");
+        }
+    }
+}
+
+/// Every D2GC schedule in both chunk-scheduler flavors.
+fn run_all_d2gc(m: &Csr, threads: usize) -> Vec<usize> {
+    let g = Graph::from_symmetric_matrix(m);
+    let order = Ordering::Natural.vertex_order_d2(&g);
+    let pool = Pool::new(threads);
+    let mut out = Vec::new();
+    for s in Schedule::d2gc_set() {
+        for sched in Sched::all() {
+            let schedule = s.clone().with_sched(sched);
+            let res = bgpc::d2gc::color_d2gc(&g, &order, &schedule, &pool);
+            verify_d2gc(&g, &res.colors)
+                .unwrap_or_else(|e| panic!("{} invalid on degenerate instance: {e}", schedule.name()));
+            assert!(res.degraded.is_none(), "{} degraded", schedule.name());
+            out.push(res.num_colors);
+        }
+    }
+    out
+}
+
+#[test]
+fn d2gc_single_vertex_and_edgeless() {
+    // A single vertex and an edgeless 5-vertex graph: distance-2
+    // coloring needs exactly one color in both.
+    for m in [Csr::empty(1, 1), Csr::empty(5, 5)] {
+        for k in run_all_d2gc(&m, 4) {
+            assert_eq!(k, 1);
+        }
+    }
+}
+
+#[test]
+fn d2gc_star_on_the_dense_dispatch_boundary() {
+    // A star with hub degree exactly 128 (the bitset/stamp dispatch
+    // boundary) and 129: all leaves are pairwise distance-2 via the hub,
+    // so every vertex needs its own color.
+    for leaves in [128usize, 129] {
+        let n = leaves + 1;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                if v == 0 {
+                    (1..n as u32).collect()
+                } else {
+                    vec![0]
+                }
+            })
+            .collect();
+        let m = Csr::from_rows(n, &rows);
+        for k in run_all_d2gc(&m, 4) {
+            assert_eq!(k, n, "star with {leaves} leaves needs {n} colors");
+        }
+    }
+}

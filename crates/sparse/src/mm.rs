@@ -95,8 +95,21 @@ pub fn read_pattern<R: Read>(reader: R) -> Result<Csr, MmError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err("bad nnz count"))?;
 
+    if symmetric && nrows != ncols {
+        return Err(parse_err(format!(
+            "{} storage requires a square matrix, got {nrows}x{ncols}",
+            fields[4]
+        )));
+    }
+
     let mut coo = Coo::with_capacity(nrows, ncols, if symmetric { nnz * 2 } else { nnz });
     let mut seen = 0usize;
+    // Duplicate entries silently collapse in CSR conversion but inflate
+    // the declared pattern (net degrees, nnz accounting), so they are a
+    // malformed file, not a tolerable redundancy. Symmetric storage keys
+    // on the unordered pair: listing both (i, j) and (j, i) mirrors to
+    // the same two entries and is equally a duplicate.
+    let mut keys = std::collections::HashSet::with_capacity(nnz);
     for line in lines {
         let line = line?;
         let trimmed = line.trim();
@@ -119,6 +132,14 @@ pub fn read_pattern<R: Read>(reader: R) -> Result<Csr, MmError> {
             return Err(parse_err(format!(
                 "entry ({i}, {j}) out of 1-based range {nrows}x{ncols}"
             )));
+        }
+        let key = if symmetric {
+            (i.min(j), i.max(j))
+        } else {
+            (i, j)
+        };
+        if !keys.insert(key) {
+            return Err(parse_err(format!("duplicate entry ({i}, {j})")));
         }
         // Matrix Market is 1-based.
         if symmetric {
@@ -301,6 +322,51 @@ mod tests {
     fn array_format_is_parse_error() {
         let msg = expect_parse_error("%%MatrixMarket matrix array real general\n2 2\n1.0\n");
         assert!(msg.contains("unsupported format `array`"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_entry_is_parse_error() {
+        // Exact duplicate in a general file: would silently collapse in
+        // CSR conversion while the header claims 3 distinct entries.
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n2 3\n1 2\n",
+        );
+        assert!(msg.contains("duplicate entry (1, 2)"), "{msg}");
+    }
+
+    #[test]
+    fn mirrored_duplicate_in_symmetric_is_parse_error() {
+        // Symmetric storage lists each unordered pair once; (2,1) and
+        // (1,2) both mirror to the same two entries.
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n1 2\n",
+        );
+        assert!(msg.contains("duplicate entry (1, 2)"), "{msg}");
+    }
+
+    #[test]
+    fn symmetric_nonsquare_is_parse_error() {
+        // Used to panic inside the Coo mirror push; must be a clean
+        // structured error instead.
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 3 1\n1 3\n",
+        );
+        assert!(msg.contains("square"), "{msg}");
+        let msg = expect_parse_error(
+            "%%MatrixMarket matrix coordinate pattern skew-symmetric\n3 2 1\n2 1\n",
+        );
+        assert!(msg.contains("square"), "{msg}");
+    }
+
+    #[test]
+    fn distinct_entries_still_accepted_after_dedup_check() {
+        // The duplicate check must not reject legitimate files: same row
+        // twice with different columns, and a symmetric diagonal entry.
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n1 2\n";
+        assert_eq!(read_pattern(src.as_bytes()).unwrap().nnz(), 2);
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n";
+        let m = read_pattern(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3); // (0,0), (1,0), (0,1)
     }
 
     #[test]

@@ -10,6 +10,9 @@
 #                                 # schema-checked; report/trace go under
 #                                 # target/ (does not touch the checked-in
 #                                 # BENCH_coloring.json)
+#   ./scripts/bench.sh --check-deep  # long randomized concurrency-checker
+#                                 # and differential-oracle sweep (no
+#                                 # benchmarks; see crates/check)
 #
 # Instances are generated from the in-repo synthetic registry with a
 # fixed seed, so consecutive runs time identical work. Every coloring is
@@ -26,9 +29,17 @@ case "${1:-}" in
     MODE_FLAG="--smoke"
     TRACE_MODE=1
     ;;
+  --check-deep)
+    echo "== cargo build --release --offline -p check (check_smoke)"
+    cargo build --release --offline -p check --bin check_smoke
+    echo "== check_smoke --deep (long randomized sweep; CHECK_SEED=${CHECK_SEED:-20260806})"
+    ./target/release/check_smoke --deep --seed "${CHECK_SEED:-20260806}" --cases 2000
+    echo "bench: OK (deep check clean)"
+    exit 0
+    ;;
   "" | --quick) ;;
   *)
-    echo "usage: $0 [--quick|--full|--smoke|--trace]" >&2
+    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep]" >&2
     exit 2
     ;;
 esac

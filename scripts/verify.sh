@@ -45,6 +45,15 @@ step_begin "cargo doc --workspace --no-deps --offline (RUSTDOCFLAGS=-D warnings)
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 step_end "doc"
 
+step_begin "check smoke: interleaving checker + differential oracle"
+# Seeded and deterministic: the same CHECK_SEED replays the same virtual
+# thread interleavings and the same randomized oracle instances. On
+# failure check_smoke prints the replay seed (and, for oracle cases, a
+# --replay-case sub-seed) before exiting nonzero.
+CHECK_SEED="${CHECK_SEED:-20260806}"
+./target/release/check_smoke --seed "$CHECK_SEED" --cases 200
+step_end "check-smoke"
+
 step_begin "bench smoke: bench_coloring --smoke (verifies every coloring)"
 # The smoke run exits nonzero if any schedule produces an invalid
 # coloring; its JSON goes under target/ so it never clobbers the
