@@ -221,7 +221,7 @@ pub fn run_bgpc_case(d: &mut impl Draw) -> Result<(), String> {
 
     let opts = RunnerOpts::default();
     let stamp =
-        bgpc::color_bgpc_with_set::<StampSet, u32>(&g, &order, &schedule1, &pool1, opts);
+        bgpc::color_bgpc_with_set::<StampSet, u32>(&g, &order, &schedule1, &pool1, opts.clone());
     let bitstamp =
         bgpc::color_bgpc_with_set::<BitStampSet, u32>(&g, &order, &schedule1, &pool1, opts);
     same_colors(
@@ -330,7 +330,7 @@ pub fn run_d2gc_case(d: &mut impl Draw) -> Result<(), String> {
 
     let opts = RunnerOpts::default();
     let stamp = bgpc::d2gc::runner::color_d2gc_with_set::<StampSet, u32>(
-        &g, &order, &schedule1, &pool1, opts,
+        &g, &order, &schedule1, &pool1, opts.clone(),
     );
     let bitstamp = bgpc::d2gc::runner::color_d2gc_with_set::<BitStampSet, u32>(
         &g, &order, &schedule1, &pool1, opts,

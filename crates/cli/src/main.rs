@@ -18,10 +18,12 @@ fn main() {
             "color" => run::cmd_color(rest),
             "stats" => run::cmd_stats(rest),
             "generate" => run::cmd_generate(rest),
+            "serve" => run::cmd_serve(rest),
             "--help" | "-h" | "help" => {
                 println!("{}", args::COLOR_USAGE);
                 println!("\nother commands: stats --mtx FILE | --dataset NAME");
                 println!("                generate --dataset NAME [--scale F] [--seed N] --output FILE");
+                println!("                serve [--addr HOST:PORT] [--addr-file FILE] [--cache-dir DIR]");
                 0
             }
             other => {

@@ -11,9 +11,16 @@
 //! | 4    | graph construction rejected the pattern |
 //! | 5    | internal error (invalid coloring produced) |
 //! | 6    | output I/O error |
+//! | 7    | service error (`serve` daemon failed to start or crashed) |
 //!
 //! No command path unwraps: library errors surface as [`Failure`] values
 //! and the process exits with the matching code.
+//!
+//! A closed stdout pipe (`bgpc-cli … | head`) is not an error: Rust
+//! ignores `SIGPIPE`, so pipe death surfaces as `BrokenPipe` write
+//! errors, and every stdout/output write path maps those to a clean
+//! silent exit 0 — the Unix convention for a producer whose consumer
+//! hung up.
 
 use std::io::Write;
 
@@ -35,6 +42,8 @@ pub const EXIT_GRAPH: i32 = 4;
 pub const EXIT_INTERNAL: i32 = 5;
 /// Exit code for output-side I/O failures.
 pub const EXIT_OUTPUT: i32 = 6;
+/// Exit code for daemon-mode service failures (`serve`).
+pub const EXIT_SERVICE: i32 = 7;
 
 /// A command failure carrying its exit code and message.
 struct Failure {
@@ -49,15 +58,49 @@ impl Failure {
             msg: msg.into(),
         }
     }
+
+    /// Maps an output-side I/O error: `BrokenPipe` means the consumer
+    /// hung up (`… | head`), which is a clean silent exit, not a failure.
+    fn for_output(context: &str, e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            Self { code: 0, msg: String::new() }
+        } else {
+            Self::new(EXIT_OUTPUT, format!("{context}: {e}"))
+        }
+    }
 }
 
 fn finish(outcome: Result<(), Failure>) -> i32 {
     match outcome {
         Ok(()) => 0,
+        // The silent-success path (closed stdout pipe).
+        Err(Failure { code: 0, .. }) => 0,
         Err(f) => {
             eprintln!("error: {}", f.msg);
             f.code
         }
+    }
+}
+
+/// `println!` that survives a closed stdout: on `BrokenPipe` the process
+/// exits 0 immediately (consumer hung up), and any other stdout failure
+/// exits with [`EXIT_OUTPUT`]. `println!` itself would panic instead.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        crate::run::write_stdout(format_args!($($arg)*))
+    };
+}
+
+/// Backing writer for [`out!`].
+pub(crate) fn write_stdout(args: std::fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    let outcome = stdout.write_fmt(args).and_then(|()| stdout.write_all(b"\n"));
+    if let Err(e) = outcome {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error: writing to stdout: {e}");
+        std::process::exit(EXIT_OUTPUT);
     }
 }
 
@@ -124,7 +167,7 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
     let width = args
         .index_width
         .unwrap_or_else(|| IndexWidth::auto_for(matrix.nnz()));
-    println!(
+    out!(
         "pattern: {} x {}, {} nnz; problem {:?}, schedule {}, {} threads, {} order, \
          {} indices, {} relabel, {} chunks",
         matrix.nrows(),
@@ -246,7 +289,7 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
     };
 
     let stats = ColorClassStats::from_colors(&colors);
-    println!(
+    out!(
         "colored {} vertices with {} colors (lower bound {}) in {:.2} ms, {} rounds",
         colors.len(),
         num_colors,
@@ -254,7 +297,7 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         total_ms,
         rounds
     );
-    println!(
+    out!(
         "classes: {} (min {}, max {}, σ {:.2}, entropy {:.3}, gini {:.3}, {} singletons)",
         stats.num_classes,
         stats.min,
@@ -268,9 +311,9 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
     if args.metrics {
         if let Some(rec) = pool.tracer() {
             if !iterations.is_empty() {
-                println!("iter  color    conflict  queue_in  queue_out  color_ms  conflict_ms");
+                out!("iter  color    conflict  queue_in  queue_out  color_ms  conflict_ms");
                 for m in &iterations {
-                    println!(
+                    out!(
                         "{:>4}  {:<7}  {:<8}  {:>8}  {:>9}  {:>8.3}  {:>11.3}",
                         m.iter,
                         format!("{:?}", m.color_kind),
@@ -290,14 +333,14 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
             .tracer()
             .expect("--trace installs a recorder before the run");
         std::fs::write(path, trace::chrome_trace_json(rec, "bgpc-cli"))
-            .map_err(|e| Failure::new(EXIT_OUTPUT, format!("writing {path}: {e}")))?;
-        println!("trace written to {path}");
+            .map_err(|e| Failure::for_output(&format!("writing {path}"), e))?;
+        out!("trace written to {path}");
     }
 
     if let Some(path) = args.output {
         write_colors(&path, &colors)
-            .map_err(|e| Failure::new(EXIT_OUTPUT, format!("writing {path}: {e}")))?;
-        println!("colors written to {path}");
+            .map_err(|e| Failure::for_output(&format!("writing {path}"), e))?;
+        out!("colors written to {path}");
     }
     Ok(())
 }
@@ -334,30 +377,30 @@ fn stats(args: ColorArgs) -> Result<(), Failure> {
     let matrix = load(&args.input)?;
     let rows = DegreeStats::rows(&matrix);
     let cols = DegreeStats::cols(&matrix);
-    println!("shape: {} x {}, nnz {}", matrix.nrows(), matrix.ncols(), matrix.nnz());
-    println!(
+    out!("shape: {} x {}, nnz {}", matrix.nrows(), matrix.ncols(), matrix.nnz());
+    out!(
         "row degrees: min {} max {} mean {:.2} σ {:.2}",
         rows.min, rows.max, rows.mean, rows.std_dev
     );
-    println!(
+    out!(
         "col degrees: min {} max {} mean {:.2} σ {:.2}",
         cols.min, cols.max, cols.mean, cols.std_dev
     );
     let symmetric =
         matrix.nrows() == matrix.ncols() && matrix.strip_diagonal().is_structurally_symmetric();
-    println!("structurally symmetric: {symmetric}");
+    out!("structurally symmetric: {symmetric}");
     if symmetric {
         let g = Graph::try_from_symmetric_matrix(&matrix)
             .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
         let natural: Vec<u32> = (0..g.n_vertices() as u32).collect();
         let rcm = graph::rcm_permutation(&g);
-        println!(
+        out!(
             "bandwidth: natural {}, after RCM {}",
             graph::bandwidth(&g, &natural),
             graph::bandwidth(&g, &rcm)
         );
     }
-    println!("BGPC color lower bound (max net size): {}", rows.max);
+    out!("BGPC color lower bound (max net size): {}", rows.max);
     Ok(())
 }
 
@@ -383,7 +426,7 @@ pub fn cmd_generate(flags: &[String]) -> i32 {
     finish(
         sparse::mm::write_pattern_file(&path, &inst.matrix)
             .map(|()| {
-                println!(
+                out!(
                     "wrote {} analogue at scale {scale} (seed {seed}) to {path}: {} x {}, {} nnz",
                     Dataset::name(&dataset),
                     inst.matrix.nrows(),
@@ -391,8 +434,89 @@ pub fn cmd_generate(flags: &[String]) -> i32 {
                     inst.matrix.nnz()
                 );
             })
-            .map_err(|e| Failure::new(EXIT_OUTPUT, format!("writing {path}: {e}"))),
+            .map_err(|e| Failure::for_output(&format!("writing {path}"), e)),
     )
+}
+
+/// Usage text for the `serve` command.
+pub const SERVE_USAGE: &str = "\
+usage: bgpc-cli serve [--addr HOST:PORT] [--addr-file FILE] [--cache-dir DIR]
+                      [--threads N] [--queue-capacity N]
+                      [--read-timeout-ms N] [--default-deadline-ms N]
+
+Runs the hardened coloring daemon until a client sends the Shutdown verb.
+Bind port 0 to let the OS pick; with --addr-file the bound address is
+written there (atomically) once the daemon is listening, so scripts can
+wait for it. Service failures exit with code 7.";
+
+/// `bgpc-cli serve …` — run the coloring daemon in the foreground.
+pub fn cmd_serve(flags: &[String]) -> i32 {
+    let mut cfg = serve::ServeConfig {
+        cache_dir: std::env::temp_dir().join("bgpc-serve-cache"),
+        ..serve::ServeConfig::default()
+    };
+    let mut addr_file: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            flags
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        let outcome: Result<(), String> = (|| {
+            match flag {
+                "--addr" => cfg.addr = value(i)?.clone(),
+                "--addr-file" => addr_file = Some(value(i)?.clone()),
+                "--cache-dir" => cfg.cache_dir = value(i)?.into(),
+                "--threads" => {
+                    cfg.pool_threads =
+                        value(i)?.parse().map_err(|e| format!("bad --threads: {e}"))?
+                }
+                "--queue-capacity" => {
+                    cfg.queue_capacity = value(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-capacity: {e}"))?
+                }
+                "--read-timeout-ms" => {
+                    let ms: u64 =
+                        value(i)?.parse().map_err(|e| format!("bad --read-timeout-ms: {e}"))?;
+                    cfg.read_timeout = std::time::Duration::from_millis(ms.max(1));
+                }
+                "--default-deadline-ms" => {
+                    cfg.default_deadline_ms = value(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --default-deadline-ms: {e}"))?
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = outcome {
+            eprintln!("error: {e}\n\n{SERVE_USAGE}");
+            return EXIT_USAGE;
+        }
+        i += 2;
+    }
+
+    let daemon = match serve::Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: daemon failed to start: {e}");
+            return EXIT_SERVICE;
+        }
+    };
+    let addr = daemon.local_addr();
+    if let Some(path) = &addr_file {
+        if let Err(e) = serve::daemon::write_addr_file(std::path::Path::new(path), addr) {
+            eprintln!("error: writing {path}: {e}");
+            return EXIT_SERVICE;
+        }
+    }
+    out!("serving on {addr} (shut down with the client's Shutdown verb)");
+    daemon.join();
+    out!("daemon stopped");
+    0
 }
 
 #[cfg(test)]
@@ -582,10 +706,10 @@ mod tests {
     }
 
     #[test]
-    fn bin_with_out_of_bounds_column_exits_with_input_code() {
-        // Craft a cache file whose last column index is >= ncols: the
-        // reader's `Csr::try_from_parts` must reject it with the
-        // structured ColumnOutOfBounds error, mapped to the input code.
+    fn bin_with_corrupt_payload_exits_with_input_code() {
+        // Clobber a column index inside the checksummed region: the
+        // hardened reader must reject the file with the structured
+        // checksum-mismatch error, mapped to the input code.
         let dir = std::env::temp_dir().join("bgpc-cli-bin-bad");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.bin");
@@ -593,7 +717,8 @@ mod tests {
         let mut buf = Vec::new();
         sparse::bin_io::write_bin(&mut buf, &m).unwrap();
         let len = buf.len();
-        buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        // The last 8 bytes are the trailer; corrupt the last col index.
+        buf[len - 12..len - 8].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&path, &buf).unwrap();
 
         let Err(f) = load(&Input::Bin(path.to_str().unwrap().into())) else {
@@ -601,8 +726,8 @@ mod tests {
         };
         assert_eq!(f.code, EXIT_INPUT);
         assert!(
-            f.msg.contains("ncols"),
-            "error must name the structured column-bound violation: {}",
+            f.msg.contains("checksum mismatch"),
+            "error must name the structured corruption: {}",
             f.msg
         );
         let code = cmd_color(&s(&["--bin", path.to_str().unwrap()]));

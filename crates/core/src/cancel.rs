@@ -1,0 +1,84 @@
+//! Cooperative cancellation for the speculative drivers.
+//!
+//! The speculative loop is iterative by construction, which makes it
+//! naturally interruptible: the runners poll a [`CancelToken`] (and an
+//! optional wall-clock deadline, see [`crate::RunnerOpts`]) between
+//! iterations and, when tripped, repair the best-so-far partial coloring
+//! into a valid, complete one instead of abandoning the job. The result is
+//! tagged [`crate::DegradeReason::DeadlineExceeded`] — a timed-out job
+//! still returns a usable coloring, just not the fully speculative one.
+//!
+//! Tokens are cheap to clone (one `Arc<AtomicBool>`) and safe to trip from
+//! any thread — the serving layer hands one to a watchdog while the
+//! coloring runs on the shared pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag.
+///
+/// Once [`cancel`](CancelToken::cancel)ed a token stays cancelled; clones
+/// observe the same flag.
+///
+/// ```
+/// use bgpc::CancelToken;
+/// let t = CancelToken::new();
+/// let watcher = t.clone();
+/// assert!(!watcher.is_cancelled());
+/// t.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether any holder has tripped the flag.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+        // idempotent
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        std::thread::spawn(move || c.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

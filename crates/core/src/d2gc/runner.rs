@@ -99,6 +99,25 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
 
     let mut iter = 0usize;
     while !w.is_empty() {
+        if opts.expired() {
+            // Deadline/cancellation: repair best-so-far, mirroring
+            // [`crate::runner`]'s graceful-degradation path.
+            degraded = Some(DegradeReason::DeadlineExceeded { iter });
+            let queue_in = w.len();
+            traced_repair(g, order, &colors, rec, iter);
+            w.clear();
+            iterations.push(IterationMetrics {
+                iter,
+                queue_in,
+                color_kind: PhaseKind::Vertex,
+                conflict_kind: PhaseKind::Vertex,
+                color_time: start.elapsed(),
+                conflict_time: Duration::ZERO,
+                queue_out: 0,
+                per_thread: Vec::new(),
+            });
+            break;
+        }
         if iter >= opts.max_iterations {
             degraded = Some(DegradeReason::IterationCap {
                 cap: opts.max_iterations,

@@ -49,6 +49,7 @@
 
 pub mod analysis;
 pub mod balance;
+pub mod cancel;
 pub mod color;
 pub mod ctx;
 pub mod d1gc;
@@ -68,6 +69,7 @@ pub mod vertex;
 pub mod workqueue;
 
 pub use balance::Balance;
+pub use cancel::CancelToken;
 pub use color::{Color, Colors, UNCOLORED};
 pub use error::ColoringError;
 pub use forbidden::{BitStampSet, ForbiddenSet, StampSet};

@@ -90,6 +90,15 @@ pub enum DegradeReason {
         /// Number of entries the queue rejected.
         dropped: usize,
     },
+    /// The job's deadline passed (or its [`crate::CancelToken`] was
+    /// tripped) mid-loop: the runner stopped speculating and repaired the
+    /// best-so-far partial coloring sequentially. This is the graceful
+    /// degradation contract of the serving layer — a timed-out job
+    /// returns a valid, complete coloring instead of nothing.
+    DeadlineExceeded {
+        /// Iteration at which the deadline/cancellation was observed.
+        iter: usize,
+    },
 }
 
 impl std::fmt::Display for FailedPhase {
@@ -116,6 +125,11 @@ impl std::fmt::Display for DegradeReason {
                 f,
                 "shared conflict queue overflowed (iteration {iter}): \
                  {dropped} entries dropped"
+            ),
+            DegradeReason::DeadlineExceeded { iter } => write!(
+                f,
+                "deadline exceeded (iteration {iter}): best-so-far coloring \
+                 repaired sequentially"
             ),
         }
     }

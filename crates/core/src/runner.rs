@@ -24,18 +24,38 @@ const MAX_ITERATIONS: usize = 256;
 
 /// Tuning knobs of the speculative driver that are not part of the
 /// [`Schedule`] (they do not correspond to a paper configuration).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunnerOpts {
     /// Iteration cap before the sequential liveness fallback; the run is
     /// reported as degraded ([`DegradeReason::IterationCap`]) if it trips.
     pub max_iterations: usize,
+    /// Wall-clock deadline: the driver polls it between iterations and,
+    /// once passed, repairs the best-so-far partial coloring sequentially
+    /// and reports [`DegradeReason::DeadlineExceeded`]. `None` disables
+    /// the check.
+    pub deadline: Option<Instant>,
+    /// External cancellation, polled alongside `deadline` (the serving
+    /// layer's watchdog trips it). A cancelled run degrades exactly like a
+    /// missed deadline: valid, complete, tagged `DeadlineExceeded`.
+    pub cancel: Option<crate::CancelToken>,
 }
 
 impl Default for RunnerOpts {
     fn default() -> Self {
         Self {
             max_iterations: MAX_ITERATIONS,
+            deadline: None,
+            cancel: None,
         }
+    }
+}
+
+impl RunnerOpts {
+    /// Whether the deadline has passed or the cancel token was tripped.
+    /// Polled by the drivers once per speculative iteration.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 }
 
@@ -133,6 +153,27 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
 
     let mut iter = 0usize;
     while !w.is_empty() {
+        if opts.expired() {
+            // Deadline/cancellation: stop speculating and repair the
+            // best-so-far partial state into a valid, complete coloring.
+            // The repair is sequential but touches only what the finished
+            // iterations left dirty, so a late trip costs little.
+            degraded = Some(DegradeReason::DeadlineExceeded { iter });
+            let queue_in = w.len();
+            traced_repair(g, order, &colors, rec, iter);
+            w.clear();
+            iterations.push(IterationMetrics {
+                iter,
+                queue_in,
+                color_kind: PhaseKind::Vertex,
+                conflict_kind: PhaseKind::Vertex,
+                color_time: start.elapsed(),
+                conflict_time: Duration::ZERO,
+                queue_out: 0,
+                per_thread: Vec::new(),
+            });
+            break;
+        }
         if iter >= opts.max_iterations {
             // Liveness fallback: sequentially color what's left. The
             // remaining queue holds losers whose stale colors the next

@@ -234,7 +234,7 @@ fn both_forbidden_set_representations_repair_after_faults() {
     for schedule in [Schedule::v_v(), Schedule::n1_n2()] {
         faults::arm("bgpc.conflict", FaultAction::Panic);
         let r_bits = bgpc::color_bgpc_with_set::<bgpc::BitStampSet, _>(
-            &g, &order, &schedule, &pool, opts,
+            &g, &order, &schedule, &pool, opts.clone(),
         );
         faults::reset();
         assert_degraded_panic(&r_bits, FailedPhase::Conflict, "BitStampSet");
@@ -243,7 +243,7 @@ fn both_forbidden_set_representations_repair_after_faults() {
 
         faults::arm("bgpc.conflict", FaultAction::Panic);
         let r_spec =
-            bgpc::color_bgpc_with_set::<bgpc::StampSet, _>(&g, &order, &schedule, &pool, opts);
+            bgpc::color_bgpc_with_set::<bgpc::StampSet, _>(&g, &order, &schedule, &pool, opts.clone());
         faults::reset();
         assert_degraded_panic(&r_spec, FailedPhase::Conflict, "StampSet");
         verify_bgpc(&g, &r_spec.colors)
@@ -294,7 +294,7 @@ fn iteration_cap_zero_degrades_to_sequential_fallback() {
     let g = bgpc_instance();
     let order = Ordering::Natural.vertex_order_bgpc(&g);
     let pool = Pool::new(4);
-    let opts = RunnerOpts { max_iterations: 0 };
+    let opts = RunnerOpts { max_iterations: 0, ..RunnerOpts::default() };
     let r = color_bgpc_with_opts(&g, &order, &Schedule::n2_n2(), &pool, opts);
     assert!(matches!(
         r.degraded,
@@ -315,7 +315,7 @@ fn iteration_cap_on_adversarial_clique_still_produces_valid_coloring() {
     let g = BipartiteGraph::from_matrix(&sparse::Csr::from_rows(n, &[all]));
     let order: Vec<u32> = (0..n as u32).rev().collect();
     let pool = Pool::new(4);
-    let opts = RunnerOpts { max_iterations: 1 };
+    let opts = RunnerOpts { max_iterations: 1, ..RunnerOpts::default() };
     let r = color_bgpc_with_opts(&g, &order, &Schedule::v_v(), &pool, opts);
     verify_bgpc(&g, &r.colors).expect("capped run must still be valid");
     // A clique of 64 needs exactly 64 colors.
@@ -331,11 +331,87 @@ fn d2gc_iteration_cap_zero_degrades_to_sequential_fallback() {
     let g = d2gc_instance();
     let order = Ordering::Natural.vertex_order_d2(&g);
     let pool = Pool::new(4);
-    let opts = RunnerOpts { max_iterations: 0 };
+    let opts = RunnerOpts { max_iterations: 0, ..RunnerOpts::default() };
     let r = color_d2gc_with_opts(&g, &order, &Schedule::n1_n2(), &pool, opts);
     assert!(matches!(
         r.degraded,
         Some(DegradeReason::IterationCap { cap: 0 })
     ));
     verify_d2gc(&g, &r.colors).expect("fallback coloring must be valid");
+}
+
+#[test]
+fn expired_deadline_degrades_to_valid_best_so_far() {
+    let _g = serial();
+    let g = bgpc_instance();
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new(4);
+    // Deadline already in the past: zero speculative iterations run, the
+    // repair path colors everything sequentially — "best-so-far" is still
+    // a valid, complete coloring, tagged DeadlineExceeded.
+    let opts = RunnerOpts {
+        deadline: Some(std::time::Instant::now() - Duration::from_millis(1)),
+        ..RunnerOpts::default()
+    };
+    let r = color_bgpc_with_opts(&g, &order, &Schedule::n1_n2(), &pool, opts);
+    assert!(matches!(
+        r.degraded,
+        Some(DegradeReason::DeadlineExceeded { iter: 0 })
+    ));
+    verify_bgpc(&g, &r.colors).expect("deadline fallback must be valid");
+    assert!(r.num_colors >= g.max_net_size());
+}
+
+#[test]
+fn cancel_token_degrades_like_a_missed_deadline() {
+    let _g = serial();
+    let g = bgpc_instance();
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new(4);
+    let token = bgpc::CancelToken::new();
+    token.cancel();
+    let opts = RunnerOpts {
+        cancel: Some(token),
+        ..RunnerOpts::default()
+    };
+    let r = color_bgpc_with_opts(&g, &order, &Schedule::v_v(), &pool, opts);
+    assert!(matches!(
+        r.degraded,
+        Some(DegradeReason::DeadlineExceeded { .. })
+    ));
+    verify_bgpc(&g, &r.colors).expect("cancelled run must still be valid");
+}
+
+#[test]
+fn unexpired_deadline_leaves_run_clean() {
+    let _g = serial();
+    let g = bgpc_instance();
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new(4);
+    let opts = RunnerOpts {
+        deadline: Some(std::time::Instant::now() + Duration::from_secs(3600)),
+        cancel: Some(bgpc::CancelToken::new()),
+        ..RunnerOpts::default()
+    };
+    let r = color_bgpc_with_opts(&g, &order, &Schedule::n1_n2(), &pool, opts);
+    assert!(!r.is_degraded(), "a far-future deadline must not trip");
+    verify_bgpc(&g, &r.colors).unwrap();
+}
+
+#[test]
+fn d2gc_expired_deadline_degrades_to_valid_best_so_far() {
+    let _g = serial();
+    let g = d2gc_instance();
+    let order = Ordering::Natural.vertex_order_d2(&g);
+    let pool = Pool::new(4);
+    let opts = RunnerOpts {
+        deadline: Some(std::time::Instant::now() - Duration::from_millis(1)),
+        ..RunnerOpts::default()
+    };
+    let r = color_d2gc_with_opts(&g, &order, &Schedule::n1_n2(), &pool, opts);
+    assert!(matches!(
+        r.degraded,
+        Some(DegradeReason::DeadlineExceeded { .. })
+    ));
+    verify_d2gc(&g, &r.colors).expect("deadline fallback must be valid");
 }

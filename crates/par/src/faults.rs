@@ -23,6 +23,12 @@ pub enum FaultAction {
     Panic,
     /// Sleep for the given duration (stall injection).
     Stall(Duration),
+    /// Service-layer structured injection: the call site truncates its
+    /// write after `n` bytes (a torn frame / torn cache entry). Only
+    /// meaningful through [`consume`] — sites that can't truncate treat a
+    /// firing `Torn` like [`FaultAction::Panic`] when it arrives via
+    /// [`fire`].
+    Torn(usize),
 }
 
 struct Armed {
@@ -109,28 +115,49 @@ pub fn fire(point: &'static str, tid: usize) {
 
 #[cold]
 fn fire_slow(point: &'static str, tid: usize) {
-    let action = {
-        let mut reg = registry();
-        let Some(armed) = reg.iter_mut().find(|a| a.point == point) else {
-            return;
-        };
-        if armed.remaining == 0 {
-            return;
-        }
-        if let Some(want) = armed.thread {
-            if want != tid {
-                return;
-            }
-        }
-        armed.remaining -= 1;
-        armed.hits += 1;
-        armed.action
-        // Guard dropped here: never panic while holding the registry lock.
+    let Some(action) = take_action(point, tid) else {
+        return;
     };
     match action {
-        FaultAction::Panic => panic!("fail point `{point}` fired on thread {tid}"),
+        FaultAction::Panic | FaultAction::Torn(_) => {
+            panic!("fail point `{point}` fired on thread {tid}")
+        }
         FaultAction::Stall(d) => std::thread::sleep(d),
     }
+}
+
+/// Claims one firing of `point` without executing it, for call sites that
+/// implement the action themselves (the serving layer's torn-frame and
+/// aborted-cache-write injections: write `n` bytes, then fail). Returns
+/// `None` — at the cost of one relaxed load — when nothing is armed, so
+/// production paths stay as cheap as [`fire`].
+#[inline]
+pub fn consume(point: &'static str, tid: usize) -> Option<FaultAction> {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    take_action(point, tid)
+}
+
+/// Decrements and returns the armed action for `point`, honoring the
+/// thread filter and remaining-count bookkeeping shared by [`fire`] and
+/// [`consume`].
+#[cold]
+fn take_action(point: &'static str, tid: usize) -> Option<FaultAction> {
+    let mut reg = registry();
+    let armed = reg.iter_mut().find(|a| a.point == point)?;
+    if armed.remaining == 0 {
+        return None;
+    }
+    if let Some(want) = armed.thread {
+        if want != tid {
+            return None;
+        }
+    }
+    armed.remaining -= 1;
+    armed.hits += 1;
+    Some(armed.action)
+    // Guard dropped on return: never panic while holding the registry lock.
 }
 
 #[cfg(test)]
@@ -189,6 +216,44 @@ mod tests {
         }
         assert_eq!(hits("test.multi"), 3);
         disarm("test.multi");
+    }
+
+    #[test]
+    fn consume_returns_action_without_executing() {
+        arm_with("test.consume", FaultAction::Torn(5), 2, None);
+        assert!(matches!(
+            consume("test.consume", 0),
+            Some(FaultAction::Torn(5))
+        ));
+        assert!(matches!(
+            consume("test.consume", 1),
+            Some(FaultAction::Torn(5))
+        ));
+        // Exhausted after `times` firings; hits are shared with `fire`.
+        assert!(consume("test.consume", 0).is_none());
+        assert_eq!(hits("test.consume"), 2);
+        disarm("test.consume");
+        assert!(consume("test.consume", 0).is_none());
+    }
+
+    #[test]
+    fn consume_honors_thread_filter() {
+        arm_with("test.consume.tid", FaultAction::Panic, 1, Some(3));
+        assert!(consume("test.consume.tid", 0).is_none());
+        assert!(matches!(
+            consume("test.consume.tid", 3),
+            Some(FaultAction::Panic)
+        ));
+        disarm("test.consume.tid");
+    }
+
+    #[test]
+    fn torn_action_via_fire_panics() {
+        arm("test.torn.fire", FaultAction::Torn(8));
+        let err = catch_unwind(|| fire("test.torn.fire", 1)).expect_err("must fire");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("test.torn.fire"), "{msg}");
+        disarm("test.torn.fire");
     }
 
     #[test]

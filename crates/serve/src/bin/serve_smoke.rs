@@ -1,0 +1,164 @@
+//! End-to-end smoke driver for a running daemon — the client side of the
+//! verify-script serve step.
+//!
+//! Submits a deterministic mix of jobs (priorities, deadlines, repeated
+//! patterns) to the daemon at `<addr>`, verifies every returned coloring
+//! against a locally built graph, and prints one summary line:
+//!
+//! ```text
+//! serve_smoke ok jobs=12 cache_hits=4 degraded=1 attempts=14
+//! ```
+//!
+//! With `--require-cache-hits` the run fails unless at least one job was
+//! answered from the daemon's result cache — the restart half of the
+//! kill -9 round-trip in `scripts/verify.sh` uses this to prove the cache
+//! survived the crash.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serve::client::encode_graph;
+use serve::{ClientError, JobRequest, Priority, RetryPolicy, ServeClient};
+
+struct Args {
+    addr: String,
+    jobs: usize,
+    seed: u64,
+    distinct: usize,
+    require_cache_hits: bool,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_smoke <addr> [--jobs N] [--seed S] [--distinct M] \
+         [--require-cache-hits] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let Some(addr) = it.next() else { usage() };
+    if addr.starts_with("--") {
+        usage();
+    }
+    let mut args = Args {
+        addr,
+        jobs: 12,
+        seed: 1,
+        distinct: 4,
+        require_cache_hits: false,
+        shutdown: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("serve_smoke: {name} needs a numeric value");
+                    std::process::exit(2);
+                })
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = val("--jobs") as usize,
+            "--seed" => args.seed = val("--seed"),
+            "--distinct" => args.distinct = (val("--distinct") as usize).max(1),
+            "--require-cache-hits" => args.require_cache_hits = true,
+            "--shutdown" => args.shutdown = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut client = ServeClient::new(
+        args.addr.clone(),
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(400),
+            jitter_seed: args.seed,
+        },
+    );
+
+    if let Err(e) = client.ping() {
+        eprintln!("serve_smoke: daemon at {} not reachable: {e}", args.addr);
+        return ExitCode::FAILURE;
+    }
+
+    let schedules = ["N1-N2", "V-V", "V-N1"];
+    let mut cache_hits = 0usize;
+    let mut degraded = 0usize;
+    let mut attempts = 0u32;
+    for i in 0..args.jobs {
+        // A small pool of distinct patterns: repeats within and across
+        // runs exercise the result cache deterministically.
+        let pattern_seed = args.seed + (i % args.distinct) as u64;
+        let matrix = sparse::gen::bipartite_uniform(300, 200, 2400, pattern_seed);
+        let req = JobRequest {
+            priority: Priority::ALL[i % 3],
+            // Every fourth job carries a real-but-tight deadline; the
+            // daemon must answer with a valid coloring either way.
+            deadline_ms: if i % 4 == 3 { 40 } else { 0 },
+            no_cache: false,
+            schedule: schedules[i % schedules.len()].into(),
+            graph_bytes: encode_graph(&matrix),
+        };
+        let outcome = match client.submit(&req) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("serve_smoke: job {i} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        attempts += outcome.attempts;
+        cache_hits += outcome.cache_hit as usize;
+        degraded += outcome.degraded.is_some() as usize;
+        // Trust nothing: rebuild the graph locally and verify.
+        let g = graph::BipartiteGraph::try_from_matrix_owned(matrix)
+            .expect("generator emits valid patterns");
+        if let Err(msg) = bgpc::verify::verify_bgpc(&g, &outcome.colors) {
+            eprintln!("serve_smoke: job {i} returned an invalid coloring: {msg}");
+            return ExitCode::FAILURE;
+        }
+        if (outcome.num_colors as usize) < g.max_net_size() {
+            eprintln!(
+                "serve_smoke: job {i} used {} colors, below the max-net-size bound {}",
+                outcome.num_colors,
+                g.max_net_size()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.require_cache_hits && cache_hits == 0 {
+        eprintln!("serve_smoke: expected cache hits after restart, saw none");
+        return ExitCode::FAILURE;
+    }
+
+    if args.shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("serve_smoke: shutdown failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        // The daemon must actually stop accepting.
+        std::thread::sleep(Duration::from_millis(100));
+        match client.ping() {
+            Err(ClientError::Connection(_)) => {}
+            Ok(()) => {
+                eprintln!("serve_smoke: daemon still answering after shutdown");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {}
+        }
+    }
+
+    println!(
+        "serve_smoke ok jobs={} cache_hits={cache_hits} degraded={degraded} attempts={attempts}",
+        args.jobs
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,62 @@
+//! `serve` — a hardened coloring daemon for the BGPC suite.
+//!
+//! The library turns the in-process coloring runner ([`bgpc`]) into a
+//! long-lived service that stays correct and available under the failure
+//! modes a real deployment sees: overload, slow or malicious clients,
+//! deadline pressure, worker panics, and crashes mid-write. Everything is
+//! built on `std` (`TcpListener`, `Mutex`/`Condvar`, `mpsc`) — no registry
+//! dependencies, matching the workspace's hermetic-offline rule.
+//!
+//! # Architecture
+//!
+//! ```text
+//! client ──TCP──▶ handler thread ──▶ AdmissionQueue ──▶ executor thread
+//!                    │   ▲                 (bounded,        │  owns the
+//!                    │   │ Backpressure     3 lanes)        │  par::Pool
+//!                    │   └──── when full                    ▼
+//!                    │                              color_bgpc_with_opts
+//!                    │                               (deadline + cancel)
+//!                    └◀── Result / typed error ◀─── ResultCache (crash-safe)
+//! ```
+//!
+//! * **Admission control** ([`admission`]): a bounded three-lane priority
+//!   queue. When full, the daemon answers with a typed `Backpressure`
+//!   frame instead of queueing unboundedly — memory stays bounded under
+//!   any offered load, and shed jobs are counted.
+//! * **Deadlines** ([`daemon`]): each job's deadline and a cancellation
+//!   token thread into [`bgpc::RunnerOpts`]; the speculative loop polls
+//!   them once per iteration and a late job returns its best-so-far
+//!   coloring tagged `DeadlineExceeded` — degraded, never absent.
+//! * **Crash-safe result cache** ([`cache`]): results are content-addressed
+//!   by a fingerprint of the CSR pattern ([`fingerprint`]) and persisted
+//!   with write-temp-then-rename discipline; every entry carries a
+//!   checksum trailer so a crash or bit flip yields a recomputation, not
+//!   a wrong answer.
+//! * **Wire protocol** ([`protocol`]): length-prefixed frames with a magic,
+//!   a kind byte and a capped length prefix — adversarial input (oversized
+//!   prefixes, garbage, half-closed and slow-loris connections) produces
+//!   typed errors, never a panic or an unbounded allocation.
+//! * **Client** ([`client`]): reconnecting client with capped exponential
+//!   backoff plus deterministic jitter, distinguishing retryable faults
+//!   (backpressure, connection reset, torn frame) from terminal ones
+//!   (invalid job, graph error).
+//! * **Fault injection**: the daemon is instrumented with
+//!   [`par::faults`] fail points (`serve.frame.torn`, `serve.conn.stall`,
+//!   `serve.cache.write_abort`, `serve.job.panic`); the `servecov` test
+//!   proves each degrades the affected request and nothing else.
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod fingerprint;
+pub mod protocol;
+pub mod stats;
+
+pub use admission::{AdmissionQueue, Job, SubmitError};
+pub use cache::ResultCache;
+pub use client::{ClientError, JobOutcome, RetryPolicy, ServeClient};
+pub use daemon::{Daemon, ServeConfig};
+pub use fingerprint::csr_fingerprint;
+pub use protocol::{FrameKind, JobRequest, JobResult, Priority, ProtoError};
+pub use stats::ServeStats;

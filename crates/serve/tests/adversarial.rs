@@ -1,0 +1,176 @@
+//! Adversarial protocol tests: a live daemon fed hostile byte streams —
+//! oversized length prefixes, zero-length and garbage frames, half-closed
+//! connections, slow-loris trickles — must answer with typed protocol
+//! errors (or drop the connection) and keep serving. Never a panic, never
+//! a hang, never an unbounded allocation.
+//!
+//! No fail points are armed here, so these tests run in parallel; each
+//! starts its own daemon on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serve::protocol::{read_frame, FrameKind, FRAME_MAGIC};
+use serve::{Daemon, RetryPolicy, ServeClient, ServeConfig};
+
+fn start(tag: &str, read_timeout: Duration) -> Daemon {
+    let dir = std::env::temp_dir().join(format!("serve-adv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        pool_threads: 1,
+        cache_dir: dir,
+        read_timeout,
+        max_frame: 1 << 20,
+        ..ServeConfig::default()
+    })
+    .expect("daemon start")
+}
+
+fn connect(d: &Daemon) -> TcpStream {
+    let s = TcpStream::connect(d.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn assert_alive(d: &Daemon) {
+    ServeClient::new(
+        d.local_addr().to_string(),
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+    )
+    .ping()
+    .expect("daemon must stay alive");
+}
+
+/// Reads one frame off a raw socket.
+fn read_reply(s: &mut TcpStream) -> (FrameKind, Vec<u8>) {
+    read_frame(s, 1 << 20).expect("daemon reply")
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocating() {
+    let d = start("oversized", Duration::from_secs(5));
+    let mut s = connect(&d);
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&FRAME_MAGIC);
+    evil.push(0x01); // Submit
+    evil.extend_from_slice(&u32::MAX.to_le_bytes());
+    s.write_all(&evil).unwrap();
+    let (kind, payload) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::ProtocolError);
+    let msg = String::from_utf8_lossy(&payload).into_owned();
+    assert!(msg.contains("exceeds frame cap"), "got {msg:?}");
+    assert_alive(&d);
+}
+
+#[test]
+fn garbage_stream_gets_a_typed_protocol_error() {
+    let d = start("garbage", Duration::from_secs(5));
+    let mut s = connect(&d);
+    s.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let (kind, _) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::ProtocolError);
+    // The daemon drops the connection after the typed reply.
+    let mut rest = Vec::new();
+    let _ = s.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "connection must be closed after a violation");
+    assert_alive(&d);
+}
+
+#[test]
+fn unknown_kind_byte_is_rejected() {
+    let d = start("badkind", Duration::from_secs(5));
+    let mut s = connect(&d);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(0x5a);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&frame).unwrap();
+    let (kind, _) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::ProtocolError);
+    assert_alive(&d);
+}
+
+#[test]
+fn response_kind_from_a_client_is_a_violation() {
+    let d = start("respkind", Duration::from_secs(5));
+    let mut s = connect(&d);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(0x81); // Result — only the daemon may send this
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&frame).unwrap();
+    let (kind, _) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::ProtocolError);
+    assert_alive(&d);
+}
+
+#[test]
+fn zero_length_submit_is_an_invalid_job_not_a_crash() {
+    let d = start("zerolen", Duration::from_secs(5));
+    let mut s = connect(&d);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(0x01); // Submit with empty payload
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&frame).unwrap();
+    let (kind, _) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::InvalidJob);
+    // An envelope error is not a protocol violation: the connection
+    // stays open for a well-formed follow-up.
+    let mut ping = Vec::new();
+    ping.extend_from_slice(&FRAME_MAGIC);
+    ping.push(0x02);
+    ping.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&ping).unwrap();
+    let (kind, _) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::Pong);
+    assert_alive(&d);
+}
+
+#[test]
+fn half_closed_connection_mid_frame_is_torn_not_hung() {
+    let d = start("halfclosed", Duration::from_secs(5));
+    let mut s = connect(&d);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(0x01);
+    frame.extend_from_slice(&100u32.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 10]); // 10 of the promised 100 bytes
+    s.write_all(&frame).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let (kind, payload) = read_reply(&mut s);
+    assert_eq!(kind, FrameKind::ProtocolError);
+    assert!(String::from_utf8_lossy(&payload).contains("torn"));
+    assert_alive(&d);
+}
+
+#[test]
+fn slow_loris_is_disconnected_by_the_read_timeout() {
+    let d = start("loris", Duration::from_millis(200));
+    let mut s = connect(&d);
+    // Trickle one header byte, then stall past the read timeout.
+    s.write_all(&FRAME_MAGIC[..1]).unwrap();
+    std::thread::sleep(Duration::from_millis(700));
+    // The daemon has dropped us: either the read returns EOF or a
+    // follow-up write errors out. It must NOT still be waiting.
+    let mut buf = [0u8; 16];
+    let dropped = match s.read(&mut buf) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(_) => true,
+    };
+    assert!(dropped, "slow-loris connection must be disconnected");
+    assert_alive(&d);
+}
+
+#[test]
+fn abrupt_disconnect_between_frames_is_clean() {
+    let d = start("abrupt", Duration::from_secs(5));
+    for _ in 0..8 {
+        let s = connect(&d);
+        drop(s); // connect-and-vanish
+    }
+    assert_alive(&d);
+}

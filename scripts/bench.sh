@@ -13,6 +13,10 @@
 #   ./scripts/bench.sh --check-deep  # long randomized concurrency-checker
 #                                 # and differential-oracle sweep (no
 #                                 # benchmarks; see crates/check)
+#   ./scripts/bench.sh --serve    # daemon load test (bench_serve): client
+#                                 # threads vs a bounded admission queue;
+#                                 # p50/p99 latency, throughput, cache-hit
+#                                 # and shed rates -> BENCH_serve.json
 #
 # Instances are generated from the in-repo synthetic registry with a
 # fixed seed, so consecutive runs time identical work. Every coloring is
@@ -37,9 +41,22 @@ case "${1:-}" in
     echo "bench: OK (deep check clean)"
     exit 0
     ;;
+  --serve)
+    echo "== cargo build --release --offline -p serve (bench_serve)"
+    cargo build --release --offline -p serve --bin bench_serve
+    echo "== bench_serve (in-process daemon, bounded queue, mixed clients)"
+    ./target/release/bench_serve --out BENCH_serve.json \
+      --jobs 48 --clients 4 --distinct 6 --queue-capacity 8 --threads 4
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool BENCH_serve.json >/dev/null
+      echo "serve bench JSON parses"
+    fi
+    echo "bench: OK (wrote BENCH_serve.json)"
+    exit 0
+    ;;
   "" | --quick) ;;
   *)
-    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep]" >&2
+    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep|--serve]" >&2
     exit 2
     ;;
 esac

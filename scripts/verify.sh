@@ -100,4 +100,55 @@ else
   echo "-- recorded bench smoke baseline: ${RECORD}s -> ${BASELINE_FILE}"
 fi
 
+step_begin "serve smoke: daemon round-trip, kill -9, crash-safe cache recovery"
+# End-to-end service hardening check against the real CLI daemon:
+#   1. boot `bgpc-cli serve` on an ephemeral port, wait for --addr-file;
+#   2. drive mixed priorities/schedules/deadlines through serve_smoke
+#      (each returned coloring is re-verified client-side);
+#   3. kill -9 the daemon mid-life, restart it on the SAME cache dir;
+#   4. re-run the same jobs requiring cache hits — proving the
+#      temp-then-rename cache store survived SIGKILL readable — then
+#      stop the daemon via the protocol's Shutdown verb.
+SERVE_TMP=$(mktemp -d)
+SERVE_PID=""
+serve_cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SERVE_TMP"
+}
+trap serve_cleanup EXIT
+
+serve_start() {
+  rm -f "$SERVE_TMP/addr"
+  ./target/release/bgpc-cli serve --addr 127.0.0.1:0 \
+    --addr-file "$SERVE_TMP/addr" --cache-dir "$SERVE_TMP/cache" \
+    --threads 2 --queue-capacity 16 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SERVE_TMP/addr" ]] && return 0
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      echo "verify: FAIL — serve daemon exited before binding" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "verify: FAIL — serve daemon never wrote its address file" >&2
+  exit 1
+}
+
+serve_start
+./target/release/serve_smoke "$(cat "$SERVE_TMP/addr")" --jobs 12 --seed 1
+echo "-- kill -9 the daemon (crash-consistency check)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+serve_start
+# Same seed ⇒ same fingerprints ⇒ the SIGKILLed store must serve hits.
+./target/release/serve_smoke "$(cat "$SERVE_TMP/addr")" --jobs 12 --seed 1 \
+  --require-cache-hits --shutdown
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+trap - EXIT
+serve_cleanup
+step_end "serve-smoke"
+
 echo "verify: OK"
