@@ -20,7 +20,7 @@ use std::time::Instant;
 use bench::json::to_string_pretty;
 use bench::to_json_struct;
 use bgpc::verify::{verify_bgpc, verify_d2gc};
-use bgpc::{BitStampSet, ForbiddenSet, RunnerOpts, Schedule, StampSet};
+use bgpc::{BitStampSet, ForbiddenSet, KernelImpl, RunnerOpts, Schedule, StampSet};
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::{Pool, Sched};
 use sparse::{Csr, CsrIndex, Dataset, IndexWidth, LocalityOrder};
@@ -41,6 +41,26 @@ to_json_struct!(MicroRecord {
     speedup
 });
 
+/// Kernel micro row: dense first-fit on the same `BitStampSet`, scalar
+/// word loop vs the runtime-dispatched vector sweep.
+struct MicroKernelRecord {
+    /// Interval width (colors 0..colors−1 forbidden except the last).
+    colors: usize,
+    /// Resolved vector kernel the `simd` request dispatched to.
+    kernel: String,
+    scalar_ns: f64,
+    simd_ns: f64,
+    /// `scalar_ns / simd_ns` — > 1 means the vector sweep wins.
+    speedup: f64,
+}
+to_json_struct!(MicroKernelRecord {
+    colors,
+    kernel,
+    scalar_ns,
+    simd_ns,
+    speedup
+});
+
 /// One end-to-end schedule measurement.
 struct ScheduleRecord {
     problem: String,
@@ -54,6 +74,8 @@ struct ScheduleRecord {
     order: String,
     /// Chunk-scheduling policy (`dynamic` or `steal`).
     sched: String,
+    /// Forbidden-set kernel request (`scalar`/`simd`/`auto`).
+    kernel: String,
     /// Minimum wall time over the repetitions, milliseconds.
     time_ms: f64,
     num_colors: usize,
@@ -69,6 +91,7 @@ to_json_struct!(ScheduleRecord {
     index_width,
     order,
     sched,
+    kernel,
     time_ms,
     num_colors,
     rounds,
@@ -98,7 +121,15 @@ struct BenchReport {
     hostname: String,
     /// Hardware threads available on the host.
     host_threads: usize,
+    /// ISA feature set the simd dispatcher detected (`sse2,avx2`, `sse2`,
+    /// or `scalar` off x86-64).
+    isa: String,
+    /// Whether the measurement pools were pinned core-major (`--pin` and
+    /// the affinity syscall succeeded).
+    pinned: bool,
     micro: Vec<MicroRecord>,
+    /// Scalar vs vector first-fit on the word-packed set.
+    micro_kernel: Vec<MicroKernelRecord>,
     schedules: Vec<ScheduleRecord>,
     /// Structured per-thread summary of the `--trace` run (`null` when
     /// tracing was not requested).
@@ -112,7 +143,10 @@ to_json_struct!(BenchReport {
     git_sha,
     hostname,
     host_threads,
+    isa,
+    pinned,
     micro,
+    micro_kernel,
     schedules,
     trace
 });
@@ -163,6 +197,32 @@ fn micro_section(samples: usize) -> Vec<MicroRecord> {
         .collect()
 }
 
+/// Scalar vs vector first-fit on the same dense `BitStampSet`: every
+/// word up to the last is saturated, so the sweep scans the whole array
+/// before finding color `colors − 1` — the kernel's worst (and most
+/// representative) case on dense-net instances.
+fn micro_kernel_section(samples: usize) -> Vec<MicroKernelRecord> {
+    let reps = 2000usize;
+    let resolved = KernelImpl::Simd.resolve();
+    [256usize, 1024, 4096]
+        .iter()
+        .map(|&colors| {
+            let mut fb: BitStampSet = dense(colors);
+            fb.set_kernel(KernelImpl::Scalar);
+            let scalar_ns = time_first_fit(&fb, reps, samples);
+            fb.set_kernel(KernelImpl::Simd);
+            let simd_ns = time_first_fit(&fb, reps, samples);
+            MicroKernelRecord {
+                colors,
+                kernel: resolved.label().into(),
+                scalar_ns,
+                simd_ns,
+                speedup: scalar_ns / simd_ns,
+            }
+        })
+        .collect()
+}
+
 /// Runs one schedule `reps` times with forbidden-set `F`, verifying every
 /// run; returns the record with the minimum wall time.
 #[allow(clippy::too_many_arguments)]
@@ -204,6 +264,7 @@ fn run_bgpc<F: ForbiddenSet, I: CsrIndex>(
         index_width: I::LABEL.into(),
         order: "none".into(),
         sched: schedule.sched.label().into(),
+        kernel: schedule.kernel.label().into(),
         time_ms: best_ms,
         num_colors,
         rounds,
@@ -264,6 +325,7 @@ fn axis_record_bgpc<I: CsrIndex>(
         index_width: I::LABEL.into(),
         order: relabel.label().into(),
         sched: schedule.sched.label().into(),
+        kernel: schedule.kernel.label().into(),
         time_ms: best_ms,
         num_colors,
         rounds,
@@ -321,6 +383,7 @@ fn axis_record_d2gc<I: CsrIndex>(
         index_width: I::LABEL.into(),
         order: relabel.label().into(),
         sched: schedule.sched.label().into(),
+        kernel: schedule.kernel.label().into(),
         time_ms: best_ms,
         num_colors,
         rounds,
@@ -365,6 +428,7 @@ fn run_d2gc(
         index_width: "u32".into(),
         order: "none".into(),
         sched: schedule.sched.label().into(),
+        kernel: schedule.kernel.label().into(),
         time_ms: best_ms,
         num_colors,
         rounds,
@@ -392,6 +456,8 @@ fn main() {
     let mut only_width: Option<IndexWidth> = None;
     let mut only_order: Option<LocalityOrder> = None;
     let mut only_sched: Option<Sched> = None;
+    let mut only_kernel: Option<KernelImpl> = None;
+    let mut pin = false;
     let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -436,10 +502,23 @@ fn main() {
                 }));
                 i += 2;
             }
+            "--kernel" => {
+                let v = flag_value(&args, i, "--kernel");
+                only_kernel = Some(KernelImpl::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("bad --kernel `{v}` (expected scalar|simd|auto)");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--pin" => {
+                pin = true;
+                i += 1;
+            }
             other => {
                 eprintln!(
                     "unknown flag `{other}` (expected --smoke, --quick, --out PATH, \
-                     --trace PATH, --index-width W, --order O, --sched S)"
+                     --trace PATH, --index-width W, --order O, --sched S, --kernel K, \
+                     --pin)"
                 );
                 std::process::exit(2);
             }
@@ -451,6 +530,14 @@ fn main() {
     let orders: Vec<LocalityOrder> =
         only_order.map_or_else(|| LocalityOrder::all().to_vec(), |o| vec![o]);
     let scheds: Vec<Sched> = only_sched.map_or_else(|| Sched::all().to_vec(), |s| vec![s]);
+    // The default kernel sweep pits the scalar spec against the vector
+    // path; `auto` is only measured when requested (it resolves to one of
+    // the other two, so sweeping it by default would duplicate a row).
+    let kernels: Vec<KernelImpl> =
+        only_kernel.map_or_else(|| vec![KernelImpl::Scalar, KernelImpl::Simd], |k| vec![k]);
+    let mk_pool = |t: usize| if pin { Pool::new_pinned(t) } else { Pool::new(t) };
+    // Report pinning as on only when the affinity syscall actually took.
+    let pinned = pin && mk_pool(1).pinned();
 
     let (scale, reps, threads, bgpc_sets, d2gc_sets, micro_samples): (
         f64,
@@ -496,13 +583,23 @@ fn main() {
         ),
     };
 
-    eprintln!("mode {mode}: scale {scale}, reps {reps}, threads {threads:?}");
+    eprintln!(
+        "mode {mode}: scale {scale}, reps {reps}, threads {threads:?}, isa {}, pinned {pinned}",
+        bgpc::simd::isa_features()
+    );
     let micro = micro_section(micro_samples);
     for m in &micro {
         eprintln!(
             "  micro first_fit dense {} colors: StampSet {:.1} ns, BitStampSet {:.1} ns \
              ({:.2}x)",
             m.colors, m.stamp_ns, m.bitstamp_ns, m.speedup
+        );
+    }
+    let micro_kernel = micro_kernel_section(micro_samples);
+    for m in &micro_kernel {
+        eprintln!(
+            "  micro first_fit dense {} colors: scalar {:.1} ns, {} {:.1} ns ({:.2}x)",
+            m.colors, m.scalar_ns, m.kernel, m.simd_ns, m.speedup
         );
     }
 
@@ -512,7 +609,7 @@ fn main() {
         let g = BipartiteGraph::from_matrix(&inst.matrix);
         let order = Ordering::Natural.vertex_order_bgpc(&g);
         for &t in &threads {
-            let pool = Pool::new(t);
+            let pool = mk_pool(t);
             for schedule in Schedule::all() {
                 schedules.push(run_bgpc::<BitStampSet, _>(
                     &g,
@@ -551,18 +648,67 @@ fn main() {
             let (pm, perm) = relabel.apply_columns(&inst.matrix);
             for &width in &widths {
                 for &t in &threads {
-                    let pool = Pool::new(t);
+                    let pool = mk_pool(t);
                     for base in [Schedule::v_v_64d(), Schedule::n1_n2()] {
                         for &sched in &scheds {
-                            let schedule = base.clone().with_sched(sched);
+                            for &kernel in &kernels {
+                                let schedule =
+                                    base.clone().with_sched(sched).with_kernel(kernel);
+                                let rec = match width {
+                                    IndexWidth::U32 => axis_record_bgpc(
+                                        &pm, &g0, &perm, dataset.name(), &schedule, &pool, t,
+                                        relabel, reps,
+                                    ),
+                                    IndexWidth::U64 => axis_record_bgpc(
+                                        &pm.to_index::<u64>(),
+                                        &g0,
+                                        &perm,
+                                        dataset.name(),
+                                        &schedule,
+                                        &pool,
+                                        t,
+                                        relabel,
+                                        reps,
+                                    ),
+                                };
+                                schedules.push(rec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for dataset in &d2gc_sets {
+        let inst = dataset.build(scale, SEED);
+        let g = Graph::from_symmetric_matrix(&inst.matrix);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        for &t in &threads {
+            let pool = mk_pool(t);
+            for schedule in Schedule::d2gc_set() {
+                schedules.push(run_d2gc(&g, &order, dataset.name(), &schedule, &pool, t, reps));
+            }
+        }
+        // Same axis sweep for D2GC on its headline schedule, with the
+        // symmetric (row+column) relabeling.
+        for &relabel in &orders {
+            let (pm, perm) = relabel.apply_symmetric(&inst.matrix);
+            for &width in &widths {
+                for &t in &threads {
+                    let pool = mk_pool(t);
+                    for &sched in &scheds {
+                        for &kernel in &kernels {
+                            let schedule =
+                                Schedule::v_v_64d().with_sched(sched).with_kernel(kernel);
                             let rec = match width {
-                                IndexWidth::U32 => axis_record_bgpc(
-                                    &pm, &g0, &perm, dataset.name(), &schedule, &pool, t,
+                                IndexWidth::U32 => axis_record_d2gc(
+                                    &pm, &g, &perm, dataset.name(), &schedule, &pool, t,
                                     relabel, reps,
                                 ),
-                                IndexWidth::U64 => axis_record_bgpc(
+                                IndexWidth::U64 => axis_record_d2gc(
                                     &pm.to_index::<u64>(),
-                                    &g0,
+                                    &g,
                                     &perm,
                                     dataset.name(),
                                     &schedule,
@@ -580,52 +726,9 @@ fn main() {
         }
     }
 
-    for dataset in &d2gc_sets {
-        let inst = dataset.build(scale, SEED);
-        let g = Graph::from_symmetric_matrix(&inst.matrix);
-        let order = Ordering::Natural.vertex_order_d2(&g);
-        for &t in &threads {
-            let pool = Pool::new(t);
-            for schedule in Schedule::d2gc_set() {
-                schedules.push(run_d2gc(&g, &order, dataset.name(), &schedule, &pool, t, reps));
-            }
-        }
-        // Same axis sweep for D2GC on its headline schedule, with the
-        // symmetric (row+column) relabeling.
-        for &relabel in &orders {
-            let (pm, perm) = relabel.apply_symmetric(&inst.matrix);
-            for &width in &widths {
-                for &t in &threads {
-                    let pool = Pool::new(t);
-                    for &sched in &scheds {
-                        let schedule = Schedule::v_v_64d().with_sched(sched);
-                        let rec = match width {
-                            IndexWidth::U32 => axis_record_d2gc(
-                                &pm, &g, &perm, dataset.name(), &schedule, &pool, t, relabel,
-                                reps,
-                            ),
-                            IndexWidth::U64 => axis_record_d2gc(
-                                &pm.to_index::<u64>(),
-                                &g,
-                                &perm,
-                                dataset.name(),
-                                &schedule,
-                                &pool,
-                                t,
-                                relabel,
-                                reps,
-                            ),
-                        };
-                        schedules.push(rec);
-                    }
-                }
-            }
-        }
-    }
-
     for s in &schedules {
         eprintln!(
-            "  {} {} {} {}t [{}/{}/{}/{}]: {:.3} ms, {} colors, {} rounds",
+            "  {} {} {} {}t [{}/{}/{}/{}/{}]: {:.3} ms, {} colors, {} rounds",
             s.problem,
             s.dataset,
             s.schedule,
@@ -634,6 +737,7 @@ fn main() {
             s.index_width,
             s.order,
             s.sched,
+            s.kernel,
             s.time_ms,
             s.num_colors,
             s.rounds
@@ -650,7 +754,7 @@ fn main() {
         let inst = dataset.build(scale, SEED);
         let g = BipartiteGraph::from_matrix(&inst.matrix);
         let order = Ordering::Natural.vertex_order_bgpc(&g);
-        let mut pool = Pool::new(t);
+        let mut pool = mk_pool(t);
         pool.set_tracer(std::sync::Arc::new(trace::Recorder::new(pool.threads())));
         let r = bgpc::color_bgpc(&g, &order, &Schedule::n1_n2(), &pool);
         if let Err(e) = verify_bgpc(&g, &r.colors) {
@@ -682,7 +786,10 @@ fn main() {
             .or_else(|_| std::env::var("HOSTNAME"))
             .unwrap_or_else(|_| "unknown".into()),
         host_threads: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        isa: bgpc::simd::isa_features().into(),
+        pinned,
         micro,
+        micro_kernel,
         schedules,
         trace: trace_section,
     };

@@ -9,13 +9,16 @@
 //! replays it.
 //!
 //! ```text
-//! check_smoke [--seed N] [--cases N] [--deep] [--replay-case SEED]
+//! check_smoke [--seed N] [--cases N] [--deep] [--kernel K] [--replay-case SEED]
 //! ```
 //!
 //! * `--seed N` — base seed (default 20260806).
 //! * `--cases N` — differential-oracle cases (default 200).
 //! * `--deep` — long mode for `bench.sh --check-deep`: more random
 //!   schedules, more oracle cases, plus stall-perturbation runs.
+//! * `--kernel scalar|simd|auto` — pin the oracle sweep's forbidden-set
+//!   kernel axis instead of drawing it per case (`scripts/verify.sh`
+//!   forces both `scalar` and `simd` through the sweep).
 //! * `--replay-case SEED` — re-run a single oracle case printed by a
 //!   failure, then exit.
 //!
@@ -24,8 +27,12 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+const USAGE: &str =
+    "usage: check_smoke [--seed N] [--cases N] [--deep] [--kernel scalar|simd|auto] \
+     [--replay-case SEED]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: check_smoke [--seed N] [--cases N] [--deep] [--replay-case SEED]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -33,6 +40,7 @@ struct Args {
     seed: u64,
     cases: usize,
     deep: bool,
+    kernel: Option<bgpc::KernelImpl>,
     replay_case: Option<u64>,
 }
 
@@ -41,6 +49,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         seed: 20260806,
         cases: 200,
         deep: false,
+        kernel: None,
         replay_case: None,
     };
     let mut it = std::env::args().skip(1);
@@ -57,9 +66,16 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--seed" => args.seed = take("--seed")?,
             "--cases" => args.cases = take("--cases")? as usize,
             "--deep" => args.deep = true,
+            "--kernel" => {
+                let v = it.next().unwrap_or_default();
+                args.kernel = Some(bgpc::KernelImpl::from_name(&v).ok_or_else(|| {
+                    eprintln!("check_smoke: bad --kernel `{v}` (expected scalar|simd|auto)");
+                    usage()
+                })?);
+            }
             "--replay-case" => args.replay_case = Some(take("--replay-case")?),
             "--help" | "-h" => {
-                println!("usage: check_smoke [--seed N] [--cases N] [--deep] [--replay-case SEED]");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => {
@@ -176,7 +192,7 @@ fn main() -> ExitCode {
 
     if let Some(case_seed) = args.replay_case {
         println!("replaying oracle case seed {case_seed}");
-        return match check::run_case_from_seed(case_seed) {
+        return match check::run_case_from_seed_with(case_seed, args.kernel) {
             Ok(()) => {
                 println!("  ok   case is clean");
                 ExitCode::SUCCESS
@@ -190,10 +206,11 @@ fn main() -> ExitCode {
 
     let t0 = Instant::now();
     println!(
-        "check_smoke: seed {} | {} oracle cases | {} mode",
+        "check_smoke: seed {} | {} oracle cases | {} mode | kernel {}",
         args.seed,
         args.cases,
-        if args.deep { "deep" } else { "smoke" }
+        if args.deep { "deep" } else { "smoke" },
+        args.kernel.map_or("drawn", |k| k.label()),
     );
     let mut ok = true;
 
@@ -205,7 +222,7 @@ fn main() -> ExitCode {
     println!("differential oracle:");
     let cases = if args.deep { args.cases.max(2000) } else { args.cases };
     ok &= stage("oracle: bgpc + d2gc sweep", args.seed, || {
-        check::run_oracle_sweep(args.seed, cases)
+        check::run_oracle_sweep_with(args.seed, cases, args.kernel)
             .map(|n| format!("{n} cases, zero divergences"))
             .map_err(|f| format!("{f}\n       replay: check_smoke --replay-case {}", f.case_seed))
     });

@@ -32,5 +32,8 @@ pub mod models;
 pub mod oracle;
 pub mod vsched;
 
-pub use oracle::{run_case_from_seed, run_oracle_sweep, OracleFailure};
+pub use oracle::{
+    run_case_from_seed, run_case_from_seed_with, run_oracle_sweep, run_oracle_sweep_with,
+    OracleFailure,
+};
 pub use vsched::{CheckFailure, Coverage, ThreadProgram};

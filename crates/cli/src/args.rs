@@ -57,6 +57,8 @@ pub struct ColorArgs {
     /// Print per-iteration thread counters and the imbalance table (also
     /// installs a recorder).
     pub metrics: bool,
+    /// Pin team members to CPUs in topology order and steal near-first.
+    pub pin: bool,
 }
 
 /// Usage text for the `color` command.
@@ -65,7 +67,7 @@ usage: bgpc-cli color [--mtx FILE | --bin FILE | --dataset NAME [--scale F] [--s
                       [--problem bgpc|d2gc|d1gc|dK] [--schedule NAME]
                       [--order natural|random:SEED|largest-first|smallest-last|incidence-degree]
                       [--index-width auto|u32|u64] [--relabel none|degree|bfs]
-                      [--sched dynamic|steal]
+                      [--sched dynamic|steal] [--kernel scalar|simd|auto] [--pin]
                       [--threads N] [--recolor] [--output FILE]
                       [--trace FILE] [--metrics]
 
@@ -89,6 +91,8 @@ impl ColorArgs {
         let mut index_width: Option<IndexWidth> = None;
         let mut relabel = LocalityOrder::None;
         let mut sched = par::Sched::Dynamic;
+        let mut kernel = bgpc::KernelImpl::Auto;
+        let mut pin = false;
         let mut recolor = false;
         let mut output = None;
         let mut trace = None;
@@ -164,6 +168,15 @@ impl ColorArgs {
                         .ok_or_else(|| format!("unknown chunk scheduler `{}`", args[i + 1]))?;
                     i += 2;
                 }
+                "--kernel" => {
+                    kernel = bgpc::KernelImpl::from_name(value(i)?)
+                        .ok_or_else(|| format!("unknown kernel `{}`", args[i + 1]))?;
+                    i += 2;
+                }
+                "--pin" => {
+                    pin = true;
+                    i += 1;
+                }
                 "--recolor" => {
                     recolor = true;
                     i += 1;
@@ -196,7 +209,7 @@ impl ColorArgs {
         Ok(Self {
             input,
             problem,
-            schedule: schedule.with_sched(sched),
+            schedule: schedule.with_sched(sched).with_kernel(kernel),
             ordering,
             threads,
             index_width,
@@ -205,6 +218,7 @@ impl ColorArgs {
             output,
             trace,
             metrics,
+            pin,
         })
     }
 }
@@ -347,5 +361,19 @@ mod tests {
         assert!(ColorArgs::parse(&s(&["--mtx", "a", "--relabel", "zzz"])).is_err());
         assert!(ColorArgs::parse(&s(&["--mtx", "a", "--sched", "zzz"])).is_err());
         assert!(ColorArgs::parse(&s(&["--mtx", "a", "--bin", "b"])).is_err());
+    }
+
+    #[test]
+    fn parse_kernel_and_pin_axes() {
+        let a = ColorArgs::parse(&s(&["--mtx", "a", "--kernel", "scalar", "--pin"])).unwrap();
+        assert_eq!(a.schedule.kernel, bgpc::KernelImpl::Scalar);
+        assert!(a.pin);
+        let a = ColorArgs::parse(&s(&["--mtx", "a", "--kernel", "simd"])).unwrap();
+        assert_eq!(a.schedule.kernel, bgpc::KernelImpl::Simd);
+        assert!(!a.pin);
+        let a = ColorArgs::parse(&s(&["--mtx", "a"])).unwrap();
+        assert_eq!(a.schedule.kernel, bgpc::KernelImpl::Auto, "default");
+        assert!(ColorArgs::parse(&s(&["--mtx", "a", "--kernel", "zzz"])).is_err());
+        assert!(ColorArgs::parse(&s(&["--mtx", "a", "--kernel"])).is_err());
     }
 }

@@ -181,7 +181,15 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         args.relabel.label(),
         args.schedule.sched,
     );
-    let mut pool = Pool::new(args.threads);
+    let mut pool = if args.pin {
+        // Pinning is best-effort: off Linux (or under a restricted
+        // affinity mask) the plan reports unpinned and the run proceeds.
+        let p = Pool::new_pinned(args.threads);
+        out!("pinning: {}", if p.pinned() { "on (core-major)" } else { "requested, unavailable" });
+        p
+    } else {
+        Pool::new(args.threads)
+    };
     if args.trace.is_some() || args.metrics {
         // Tracing is opt-in: without these flags no recorder exists and
         // the kernels' counter flushes are skipped entirely.
@@ -629,6 +637,33 @@ mod tests {
                     ]));
                     assert_eq!(code, 0, "{relabel}/{width}/{sched}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_and_pin_axes_color_and_verify() {
+        // Each kernel request (and pinning, which degrades gracefully when
+        // affinity is unavailable) must still produce a verified coloring.
+        for kernel in ["scalar", "simd", "auto"] {
+            for problem in ["bgpc", "d2gc"] {
+                let mut flags = vec![
+                    "--dataset",
+                    "af_shell10",
+                    "--scale",
+                    "0.002",
+                    "--problem",
+                    problem,
+                    "--kernel",
+                    kernel,
+                    "--sched",
+                    "steal",
+                ];
+                if kernel == "auto" {
+                    flags.push("--pin");
+                }
+                let code = cmd_color(&s(&flags));
+                assert_eq!(code, 0, "{problem}/{kernel}");
             }
         }
     }

@@ -87,6 +87,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
     // Per-run state reset, mirroring [`crate::runner`] (see ThreadCtx docs).
     for ctx in scratch.iter_mut() {
         ctx.reset_for_run();
+        ctx.set_kernel(schedule.kernel);
     }
     let colors = Colors::new(n);
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));

@@ -64,6 +64,8 @@ pub mod recolor;
 pub mod runner;
 pub mod schedule;
 pub mod seq;
+pub mod simd;
+pub mod tuning;
 pub mod verify;
 pub mod vertex;
 pub mod workqueue;
@@ -78,3 +80,4 @@ pub use runner::{
     color_bgpc, color_bgpc_with_opts, color_bgpc_with_set, try_color_bgpc, RunnerOpts,
 };
 pub use schedule::{PhaseKind, Schedule};
+pub use simd::{ActiveKernel, KernelImpl};

@@ -287,6 +287,32 @@ fn stealing_worker_panic_mid_region_recovers() {
 }
 
 #[test]
+fn pinned_worker_panic_mid_steal_recovers() {
+    let _g = serial();
+    // `par.steal` fires after a worker drains its local block and before
+    // it touches any victim — the hardest spot for the steal-range
+    // disjointness invariant. Every stealing worker reaches it (the run
+    // only ends once all blocks are empty), so the point fires
+    // deterministically. Use a pinned pool so containment and repair are
+    // also exercised under the near-first victim ordering; pinning is
+    // best-effort, so the test is valid whether or not affinity took.
+    let g = BipartiteGraph::from_matrix(&sparse::gen::bipartite_uniform(4000, 2000, 40000, 7));
+    let order = Ordering::Natural.vertex_order_bgpc(&g);
+    let pool = Pool::new_pinned(4);
+    let schedule = Schedule::v_v_64d().with_sched(Sched::Stealing);
+    faults::arm_with("par.steal", FaultAction::Panic, 1, Some(2));
+    let r = color_bgpc(&g, &order, &schedule, &pool);
+    let fired = faults::hits("par.steal") > 0;
+    faults::reset();
+    assert!(fired, "every stealing worker reaches the mid-steal point");
+    assert_degraded_panic(&r, FailedPhase::Color, "mid-steal worker 2");
+    verify_bgpc(&g, &r.colors).expect("repaired coloring must be valid");
+    let clean = color_bgpc(&g, &order, &schedule, &pool);
+    assert!(!clean.is_degraded(), "pinned pool must recover after containment");
+    verify_bgpc(&g, &clean.colors).unwrap();
+}
+
+#[test]
 fn iteration_cap_zero_degrades_to_sequential_fallback() {
     // No fail points involved, but keep SERIAL: a concurrent armed point
     // from another test would otherwise fire inside this run too.

@@ -32,6 +32,9 @@
 //!   then record per-thread busy time and the chunked drivers count claims
 //!   and steals. Without a recorder (the default) the hooks cost one branch
 //!   per region — see the `trace` crate for the full cost model.
+//! * [`Pool::new_pinned`] and [`topo`] add a CPU-topology model: team
+//!   members are pinned core-major (graceful no-op off Linux) and drained
+//!   thieves steal from near victims first.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ mod padded;
 mod pool;
 mod scratch;
 mod steal;
+pub mod topo;
 
 pub use cursor::ChunkCursor;
 pub use padded::CachePadded;

@@ -9,6 +9,7 @@ use std::thread::JoinHandle;
 
 use crate::cursor::ChunkCursor;
 use crate::steal::{Sched, StealRanges};
+use crate::topo::{CpuTopology, PinPlan};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///
@@ -182,11 +183,32 @@ pub struct Pool {
     /// Observability sink; `None` (the default) keeps every hook to a
     /// single branch per region — see [`Pool::set_tracer`].
     tracer: Option<Arc<trace::Recorder>>,
+    /// Topology plan for pinned teams — worker→CPU placement plus
+    /// per-thief near-first victim orders (see [`Pool::new_pinned`]).
+    plan: Option<Arc<PinPlan>>,
 }
 
 impl Pool {
     /// Creates a pool with `threads` logical threads (minimum 1).
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, None)
+    }
+
+    /// Creates a pool whose members are pinned to CPUs in core-major
+    /// topology order (caller → CPU of tid 0, worker `tid` → the `tid`-th
+    /// CPU; see [`crate::topo`]). On platforms without `sched_setaffinity`
+    /// the team runs unpinned — [`pinned`](Pool::pinned) reports which —
+    /// but the topology's near-first steal order is used either way.
+    ///
+    /// Pinning the *caller* narrows its affinity for the pool's lifetime;
+    /// create pinned pools from threads dedicated to the coloring run.
+    pub fn new_pinned(threads: usize) -> Self {
+        let plan = Arc::new(PinPlan::new(&CpuTopology::detect(), threads.max(1)));
+        plan.pin(0);
+        Self::build(threads, Some(plan))
+    }
+
+    fn build(threads: usize, plan: Option<Arc<PinPlan>>) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -202,9 +224,15 @@ impl Pool {
         let workers = (1..threads)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
+                let plan = plan.clone();
                 std::thread::Builder::new()
                     .name(format!("par-worker-{tid}"))
-                    .spawn(move || worker_loop(&shared, tid))
+                    .spawn(move || {
+                        if let Some(p) = &plan {
+                            p.pin(tid);
+                        }
+                        worker_loop(&shared, tid)
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -213,12 +241,20 @@ impl Pool {
             workers,
             threads,
             tracer: None,
+            plan,
         }
     }
 
     /// Number of logical threads in the team (including the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether the team was created with [`new_pinned`](Pool::new_pinned)
+    /// *and* every affinity call succeeded. `false` for unpinned pools and
+    /// on platforms where pinning gracefully no-ops.
+    pub fn pinned(&self) -> bool {
+        self.plan.as_ref().is_some_and(|p| p.pinned())
     }
 
     /// Installs an observability recorder on the team.
@@ -389,8 +425,11 @@ impl Pool {
     /// Observationally equivalent to [`for_dynamic`](Pool::for_dynamic) —
     /// disjoint chunks covering the range exactly once — but claims hit a
     /// per-worker cache-padded slot instead of one shared cursor, and a
-    /// drained worker steals half of the largest remaining block. Ranges
-    /// beyond the `u32` packing space fall back to the shared cursor.
+    /// drained worker steals half of the largest remaining block. On a
+    /// [pinned](Pool::new_pinned) team the thief scans near victims (same
+    /// core, then same package) before far ones and the near/far split is
+    /// traced. Ranges beyond the `u32` packing space fall back to the
+    /// shared cursor.
     pub fn for_stealing<F>(&self, len: usize, chunk: usize, f: F)
     where
         F: Fn(usize, Range<usize>) + Sync,
@@ -400,10 +439,13 @@ impl Pool {
         }
         let ranges = StealRanges::new(len, self.threads);
         let rec = self.tracer();
+        let plan = self.plan.as_deref();
         self.run(|tid| {
             let mut claims = 0u64;
             let mut attempts = 0u64;
             let mut wins = 0u64;
+            let mut near_wins = 0u64;
+            let mut far_wins = 0u64;
             loop {
                 while let Some(range) = ranges.claim_local(tid, chunk) {
                     if trace::COMPILED {
@@ -411,12 +453,30 @@ impl Pool {
                     }
                     f(tid, range);
                 }
-                match ranges.steal(tid, chunk) {
-                    Some(range) => {
+                // Fault-injection hook for mid-steal panics: a thief dying
+                // here has drained its own slot but not yet touched a
+                // victim, the hardest spot for the disjointness invariant.
+                crate::faults::fire("par.steal", tid);
+                let stolen = match plan {
+                    Some(p) => {
+                        let (order, near) = p.victims(tid);
+                        ranges.steal_ordered(tid, chunk, order, near)
+                    }
+                    None => ranges.steal(tid, chunk).map(|r| (r, false)),
+                };
+                match stolen {
+                    Some((range, from_near)) => {
                         if trace::COMPILED {
                             attempts += 1;
                             wins += 1;
                             claims += 1;
+                            if plan.is_some() {
+                                if from_near {
+                                    near_wins += 1;
+                                } else {
+                                    far_wins += 1;
+                                }
+                            }
                         }
                         f(tid, range)
                     }
@@ -432,6 +492,8 @@ impl Pool {
                 r.count(tid, trace::Counter::ChunksClaimed, claims);
                 r.count(tid, trace::Counter::StealsAttempted, attempts);
                 r.count(tid, trace::Counter::StealsWon, wins);
+                r.count(tid, trace::Counter::StealsNear, near_wins);
+                r.count(tid, trace::Counter::StealsFar, far_wins);
             }
         });
     }
@@ -826,6 +888,30 @@ mod tests {
             .count();
         assert_eq!(regions, 4);
         assert!(totals.get(trace::Counter::BusyNs) > 0);
+    }
+
+    #[test]
+    fn pinned_pool_runs_and_reports_status() {
+        let mut pool = Pool::new_pinned(4);
+        assert_eq!(pool.threads(), 4);
+        // On Linux pinning succeeds; elsewhere it cleanly reports false.
+        // Either way the team must schedule correctly with near-first
+        // stealing and split the steal counter into near + far.
+        let rec = Arc::new(trace::Recorder::new(4));
+        pool.set_tracer(Arc::clone(&rec));
+        let n = 10_007;
+        let covered = AtomicUsize::new(0);
+        pool.for_stealing(n, 13, |_tid, r| {
+            covered.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(covered.into_inner(), n);
+        let totals = rec.totals();
+        assert_eq!(
+            totals.get(trace::Counter::StealsNear) + totals.get(trace::Counter::StealsFar),
+            totals.get(trace::Counter::StealsWon),
+            "near/far split partitions the wins on a pinned team"
+        );
+        assert!(!Pool::new(2).pinned(), "unpinned pools report false");
     }
 
     #[test]

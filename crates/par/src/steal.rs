@@ -200,6 +200,81 @@ impl StealRanges {
         }
     }
 
+    /// [`steal`](Self::steal) with an explicit victim preference: scans
+    /// `order[..near]` (the near tier) for the largest block first and
+    /// falls back to `order[near..]` only when every near victim was
+    /// observed empty. Returns the stolen chunk and whether it came from
+    /// the near tier. Same coverage contract as `steal`: `None` only when
+    /// all victims were observed empty in one full scan.
+    ///
+    /// `order` is the thief's victim list (typically from
+    /// [`topo::PinPlan::victims`](crate::topo::PinPlan::victims)); entries
+    /// equal to `thief` or out of range are skipped, so a plan built for a
+    /// different team size degrades to a shorter scan instead of a panic.
+    pub fn steal_ordered(
+        &self,
+        thief: usize,
+        chunk: usize,
+        order: &[usize],
+        near: usize,
+    ) -> Option<(Range<usize>, bool)> {
+        let chunk = chunk.max(1);
+        let near = near.min(order.len());
+        loop {
+            let mut from_near = true;
+            let mut best = self.best_victim(thief, &order[..near]);
+            if best.is_none() {
+                from_near = false;
+                best = self.best_victim(thief, &order[near..]);
+            }
+            let (victim, observed, lo, hi) = best?;
+            // Upper-half split, identical to `steal`.
+            let mid = if (hi - lo) as usize <= chunk {
+                lo
+            } else {
+                lo + (hi - lo) / 2
+            };
+            if self.slots[victim]
+                .compare_exchange(
+                    observed,
+                    pack(lo, mid),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                let claim_hi = (mid as usize + chunk).min(hi as usize) as u32;
+                if claim_hi < hi {
+                    // See `steal`: the disjointness invariant makes this
+                    // plain publish into the thief's empty slot safe.
+                    self.slots[thief].store(pack(claim_hi, hi), Ordering::Release);
+                }
+                return Some((mid as usize..claim_hi as usize, from_near));
+            }
+            // Raced; rescan both tiers.
+        }
+    }
+
+    /// Largest remaining block among `victims` (ids equal to `thief` or
+    /// out of range are skipped).
+    fn best_victim(&self, thief: usize, victims: &[usize]) -> Option<(usize, u64, u32, u32)> {
+        let mut best = None;
+        let mut best_rem = 0u32;
+        for &v in victims {
+            if v == thief || v >= self.slots.len() {
+                continue;
+            }
+            let word = self.slots[v].load(Ordering::Acquire);
+            let (lo, hi) = unpack(word);
+            let rem = hi.saturating_sub(lo);
+            if rem > best_rem {
+                best_rem = rem;
+                best = Some((v, word, lo, hi));
+            }
+        }
+        best
+    }
+
     /// Sum of remaining (unclaimed) indices — test/debug aid.
     pub fn remaining(&self) -> usize {
         self.slots
@@ -345,6 +420,82 @@ mod tests {
         assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
         let total: usize = claimed.iter().map(|c| c.load(Ordering::Relaxed)).sum();
         assert_eq!(total, n);
+    }
+
+    #[test]
+    fn steal_ordered_prefers_near_tier() {
+        let ranges = StealRanges::new(900, 3);
+        while ranges.claim_local(0, 16).is_some() {}
+        // Near tier = slot 1 only: the steal must come from it even though
+        // slot 2 holds the same amount of work.
+        let (r, from_near) = ranges
+            .steal_ordered(0, 16, &[1, 2], 1)
+            .expect("victims have work");
+        assert!(from_near);
+        assert!(r.start >= 300 && r.end <= 600, "stolen from slot 1: {r:?}");
+    }
+
+    #[test]
+    fn steal_ordered_falls_back_to_far_tier() {
+        let ranges = StealRanges::new(900, 3);
+        while ranges.claim_local(0, 16).is_some() {}
+        while ranges.claim_local(1, 16).is_some() {}
+        let (r, from_near) = ranges
+            .steal_ordered(0, 16, &[1, 2], 1)
+            .expect("far victim has work");
+        assert!(!from_near, "near tier empty: must report a far steal");
+        assert!(r.start >= 600, "stolen from slot 2: {r:?}");
+        // All empty → None, like `steal`.
+        while ranges.claim_local(2, 16).is_some() {}
+        while ranges.claim_local(0, 16).is_some() {}
+        assert!(ranges.steal_ordered(0, 16, &[1, 2], 1).is_none());
+    }
+
+    #[test]
+    fn steal_ordered_skips_bogus_victims() {
+        let ranges = StealRanges::new(100, 2);
+        while ranges.claim_local(1, 8).is_some() {}
+        // Self, out-of-range, and valid ids mixed: only the valid victim
+        // is considered.
+        let (r, _) = ranges
+            .steal_ordered(1, 8, &[1, 99, 0], 2)
+            .expect("slot 0 has work");
+        assert!(r.end <= 50);
+    }
+
+    #[test]
+    fn steal_ordered_drain_covers_exactly_once() {
+        let threads = 4;
+        let n = 50_000;
+        let ranges = StealRanges::new(n, threads);
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let ranges = &ranges;
+                let marks = &marks;
+                let order: Vec<usize> = (0..threads).filter(|&t| t != tid).collect();
+                s.spawn(move || loop {
+                    while let Some(r) = ranges.claim_local(tid, 7) {
+                        for i in r {
+                            marks[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    match ranges.steal_ordered(tid, 7, &order, 1) {
+                        Some((r, _)) => {
+                            for i in r {
+                                marks[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert!(
+            marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+            "every index must be claimed exactly once"
+        );
+        assert_eq!(ranges.remaining(), 0);
     }
 
     #[test]

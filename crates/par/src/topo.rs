@@ -1,0 +1,340 @@
+//! CPU topology model and thread pinning for locality-aware scheduling.
+//!
+//! [`Pool::new_pinned`](crate::Pool::new_pinned) uses this module to place
+//! worker `tid`s onto CPUs in *core-major* order (siblings of one physical
+//! core first, then the next core, then the next package). Because the
+//! steal scheduler's initial block partition assigns chunk blocks by `tid`
+//! ([`StealRanges::new`](crate::StealRanges::new)), consecutive blocks of
+//! the iteration space land on physically adjacent cores — which is what
+//! makes a locality-preserving vertex relabeling (the `LocalityOrder`
+//! traversal order) translate into shared-cache reuse. The same model
+//! yields per-thief *victim orders*: a drained worker scans near victims
+//! (same core, then same package) before far ones, so stolen blocks stay
+//! in the closest shared cache level that still has work.
+//!
+//! Everything degrades gracefully: if sysfs is unreadable the topology is
+//! flat (every CPU its own core on one package), and if the
+//! `sched_setaffinity` syscall is unavailable (non-Linux, seccomp)
+//! [`pin_current_thread`] reports `false` and the pool simply runs
+//! unpinned — the victim orders are still used, they are just a heuristic
+//! rather than a guarantee.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One logical CPU's position in the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuInfo {
+    /// Logical CPU id (the `sched_setaffinity` bit index).
+    pub cpu: usize,
+    /// Physical core id within the package (SMT siblings share it).
+    pub core: usize,
+    /// Physical package (socket) id.
+    pub package: usize,
+}
+
+/// The machine's CPU topology, sorted core-major.
+#[derive(Clone, Debug)]
+pub struct CpuTopology {
+    cpus: Vec<CpuInfo>,
+}
+
+impl CpuTopology {
+    /// Reads the topology from sysfs, falling back to a flat model (one
+    /// package, one core per CPU) when sysfs is unavailable.
+    pub fn detect() -> CpuTopology {
+        Self::from_sysfs("/sys/devices/system/cpu").unwrap_or_else(Self::flat)
+    }
+
+    /// A flat topology over the scheduler-visible parallelism: every CPU
+    /// its own core on package 0. Near/far distinctions collapse (all
+    /// victims are equally near), which keeps the steal order well-defined.
+    pub fn flat() -> CpuTopology {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        CpuTopology {
+            cpus: (0..n)
+                .map(|cpu| CpuInfo {
+                    cpu,
+                    core: cpu,
+                    package: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn from_sysfs(root: &str) -> Option<CpuTopology> {
+        let mut cpus = Vec::new();
+        for cpu in 0.. {
+            let dir = format!("{root}/cpu{cpu}/topology");
+            let core = match std::fs::read_to_string(format!("{dir}/core_id")) {
+                Ok(s) => s.trim().parse().ok()?,
+                Err(_) => break,
+            };
+            let package = std::fs::read_to_string(format!("{dir}/physical_package_id"))
+                .ok()?
+                .trim()
+                .parse()
+                .ok()?;
+            cpus.push(CpuInfo { cpu, core, package });
+        }
+        if cpus.is_empty() {
+            return None;
+        }
+        // Core-major: SMT siblings adjacent, cores of one package adjacent.
+        cpus.sort_by_key(|c| (c.package, c.core, c.cpu));
+        Some(CpuTopology { cpus })
+    }
+
+    /// Number of logical CPUs in the model.
+    pub fn len(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Whether the model is empty (never true for detected topologies).
+    pub fn is_empty(&self) -> bool {
+        self.cpus.is_empty()
+    }
+
+    /// The CPU assigned to worker `tid`: position `tid` of the core-major
+    /// order, wrapping when the team is larger than the machine.
+    pub fn cpu_for_worker(&self, tid: usize) -> CpuInfo {
+        self.cpus[tid % self.cpus.len()]
+    }
+
+    /// Steal-victim order for `thief` in a team of `threads`: every other
+    /// tid sorted near-first (same core, then same package, then rest,
+    /// stable by tid distance within a tier). Returns the order and the
+    /// near-tier length (victims on the thief's package).
+    pub fn victim_order(&self, thief: usize, threads: usize) -> (Vec<usize>, usize) {
+        let me = self.cpu_for_worker(thief);
+        let mut order: Vec<usize> = (0..threads).filter(|&t| t != thief).collect();
+        order.sort_by_key(|&t| {
+            let v = self.cpu_for_worker(t);
+            let tier = if v.package != me.package {
+                2
+            } else if v.core != me.core || v.cpu == me.cpu {
+                // Same package. `v.cpu == me.cpu` means the team wrapped
+                // around the machine and two tids share one CPU — treat as
+                // package-near, not core-near, to avoid self-preference.
+                1
+            } else {
+                0
+            };
+            (tier, t.abs_diff(thief))
+        });
+        let near = order
+            .iter()
+            .filter(|&&t| self.cpu_for_worker(t).package == me.package)
+            .count();
+        (order, near)
+    }
+}
+
+/// A pinning + victim-order plan for one team, built once per pool.
+#[derive(Debug)]
+pub struct PinPlan {
+    /// CPU assigned to each tid.
+    cpus: Vec<usize>,
+    /// Per-tid `(victim order, near-tier length)`.
+    victims: Vec<(Vec<usize>, usize)>,
+    /// Stays `true` while every attempted pin has succeeded.
+    ok: AtomicBool,
+}
+
+impl PinPlan {
+    /// Plans placement for a team of `threads` on `topo`.
+    pub fn new(topo: &CpuTopology, threads: usize) -> PinPlan {
+        let threads = threads.max(1);
+        PinPlan {
+            cpus: (0..threads).map(|t| topo.cpu_for_worker(t).cpu).collect(),
+            victims: (0..threads).map(|t| topo.victim_order(t, threads)).collect(),
+            ok: AtomicBool::new(true),
+        }
+    }
+
+    /// Pins the calling thread to tid's planned CPU, recording failure.
+    pub fn pin(&self, tid: usize) {
+        if !pin_current_thread(self.cpus[tid]) {
+            self.ok.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether every pin attempted so far succeeded (false on platforms
+    /// without `sched_setaffinity` — the plan still orders victims).
+    pub fn pinned(&self) -> bool {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// tid's steal-victim order and near-tier length.
+    pub fn victims(&self, tid: usize) -> (&[usize], usize) {
+        let (order, near) = &self.victims[tid];
+        (order, *near)
+    }
+}
+
+/// Maximum CPU id representable in the affinity mask below (1024 CPUs,
+/// the kernel's historical `CONFIG_NR_CPUS` ceiling for a 128-byte mask).
+const MASK_CPUS: usize = 1024;
+
+/// Pins the calling thread to a single CPU via a raw `sched_setaffinity`
+/// syscall (the workspace is dependency-free, so no `libc`). Returns
+/// `true` on success; `false` on unsupported platforms, out-of-range CPU
+/// ids, or kernel rejection (e.g. a cpuset that excludes the CPU) — the
+/// caller treats any `false` as "run unpinned".
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    if cpu >= MASK_CPUS {
+        return false;
+    }
+    let mut mask = [0u64; MASK_CPUS / 64];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let ret: isize;
+    // SAFETY: sched_setaffinity(0, len, mask) only *reads* `mask` (len
+    // bytes, in bounds) and affects scheduler state of the calling thread;
+    // pid 0 means "current thread". The asm clobbers follow the Linux
+    // syscall ABI for each architecture.
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") core::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!(
+            "svc #0",
+            in("x8") 122isize, // __NR_sched_setaffinity
+            inlateout("x0") 0usize => ret,
+            in("x1") core::mem::size_of_val(&mask),
+            in("x2") mask.as_ptr(),
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Fallback for platforms without the raw syscall: reports "not pinned".
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_socket_smt() -> CpuTopology {
+        // 2 packages × 2 cores × 2 SMT threads; deliberately interleaved
+        // cpu ids (Linux often enumerates SMT siblings half a machine
+        // apart) to prove the sort normalizes them core-major.
+        let mut cpus = Vec::new();
+        for pkg in 0..2 {
+            for core in 0..2 {
+                for smt in 0..2 {
+                    cpus.push(CpuInfo {
+                        cpu: pkg * 2 + core + smt * 4,
+                        core,
+                        package: pkg,
+                    });
+                }
+            }
+        }
+        let mut t = CpuTopology { cpus };
+        t.cpus.sort_by_key(|c| (c.package, c.core, c.cpu));
+        t
+    }
+
+    #[test]
+    fn detect_never_returns_empty() {
+        let t = CpuTopology::detect();
+        assert!(!t.is_empty());
+        // Assignment wraps instead of panicking on oversubscribed teams.
+        let _ = t.cpu_for_worker(t.len() * 3 + 1);
+    }
+
+    #[test]
+    fn core_major_order_groups_siblings() {
+        let t = two_socket_smt();
+        // tids 0,1 are SMT siblings of package 0 core 0; tid 4 starts
+        // package 1.
+        assert_eq!(t.cpu_for_worker(0).core, t.cpu_for_worker(1).core);
+        assert_eq!(t.cpu_for_worker(0).package, 0);
+        assert_eq!(t.cpu_for_worker(4).package, 1);
+    }
+
+    #[test]
+    fn victim_order_prefers_near_tiers() {
+        let t = two_socket_smt();
+        let (order, near) = t.victim_order(0, 8);
+        assert_eq!(order.len(), 7);
+        // First victim: the SMT sibling (tid 1). Near tier: package 0 =
+        // tids 1..4.
+        assert_eq!(order[0], 1);
+        assert_eq!(near, 3);
+        let near_set: Vec<usize> = order[..near].to_vec();
+        assert!(near_set.iter().all(|&v| v < 4), "near tier is package 0: {near_set:?}");
+        // Far tier is exactly package 1.
+        assert!(order[near..].iter().all(|&v| v >= 4));
+    }
+
+    #[test]
+    fn victim_order_covers_every_other_tid() {
+        let t = CpuTopology::flat();
+        for threads in [1, 2, 5] {
+            for thief in 0..threads {
+                let (order, near) = t.victim_order(thief, threads);
+                assert_eq!(order.len(), threads - 1);
+                assert!(near <= order.len());
+                assert!(!order.contains(&thief));
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                let expect: Vec<usize> = (0..threads).filter(|&x| x != thief).collect();
+                assert_eq!(sorted, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_topology_is_all_near() {
+        let t = CpuTopology::flat();
+        if t.len() >= 2 {
+            let (order, near) = t.victim_order(0, t.len());
+            assert_eq!(near, order.len(), "one package: everything is near");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_team_wraps_without_core_near_self() {
+        let t = two_socket_smt();
+        // 16 tids on 8 CPUs: tid 8 shares tid 0's CPU. Its victim order
+        // must still cover all 15 others and put package-0 tids first.
+        let (order, near) = t.victim_order(8, 16);
+        assert_eq!(order.len(), 15);
+        assert!(near >= 7, "at least the package-0 tids are near");
+    }
+
+    #[test]
+    fn pin_plan_reports_status_and_orders() {
+        let plan = PinPlan::new(&CpuTopology::detect(), 4);
+        assert!(plan.pinned(), "no pin attempted yet");
+        let (order, near) = plan.victims(2);
+        assert_eq!(order.len(), 3);
+        assert!(near <= 3);
+        // Pinning the current thread to a planned CPU must either succeed
+        // (Linux) or cleanly report false — never panic.
+        plan.pin(0);
+        let _ = plan.pinned();
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected() {
+        assert!(!pin_current_thread(MASK_CPUS));
+        assert!(!pin_current_thread(usize::MAX));
+    }
+}

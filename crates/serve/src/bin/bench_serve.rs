@@ -227,6 +227,12 @@ fn main() {
     json.push_str(&format!("  \"distinct_matrices\": {},\n", args.distinct));
     json.push_str(&format!("  \"queue_capacity\": {},\n", args.queue_capacity));
     json.push_str(&format!("  \"pool_threads\": {},\n", args.threads));
+    // ISA features the coloring kernels dispatched on, and whether the
+    // daemon's pool was pinned (it never is — affinity is a bench/CLI
+    // axis, not a service default) — stamped so BENCH_serve.json rows
+    // are comparable across hosts like BENCH_coloring.json ones.
+    json.push_str(&format!("  \"isa\": \"{}\",\n", bgpc::simd::isa_features()));
+    json.push_str("  \"pinned\": false,\n");
     json.push_str(&format!("  \"deadline_ms\": {},\n", args.deadline_ms));
     json.push_str(&format!("  \"completed\": {completed},\n"));
     json.push_str(&format!("  \"failed\": {failed},\n"));

@@ -21,13 +21,22 @@ pub enum Counter {
     ForbiddenProbes,
     /// Software prefetch hints issued by the gather loops.
     PrefetchIssues,
+    /// 8-lane vector blocks executed by the SIMD gather/conflict kernels
+    /// (zero under `--kernel scalar` or when pin lists are too short).
+    SimdPathHits,
+    /// Steals won from a victim in the thief's near tier (same physical
+    /// core/package under the topology model). Subset of `StealsWon`.
+    StealsNear,
+    /// Steals won from a far victim. `StealsNear + StealsFar = StealsWon`
+    /// when the topology-aware scheduler is active.
+    StealsFar,
     /// Nanoseconds spent inside parallel regions (busy time).
     BusyNs,
 }
 
 impl Counter {
     /// Number of distinct counters (the sheet's array length).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 11;
 
     /// All counters, in sheet order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -38,6 +47,9 @@ impl Counter {
         Counter::ConflictsDetected,
         Counter::ForbiddenProbes,
         Counter::PrefetchIssues,
+        Counter::SimdPathHits,
+        Counter::StealsNear,
+        Counter::StealsFar,
         Counter::BusyNs,
     ];
 
@@ -51,6 +63,9 @@ impl Counter {
             Counter::ConflictsDetected => "conflicts_detected",
             Counter::ForbiddenProbes => "forbidden_probes",
             Counter::PrefetchIssues => "prefetch_issues",
+            Counter::SimdPathHits => "simd_path_hits",
+            Counter::StealsNear => "steals_near",
+            Counter::StealsFar => "steals_far",
             Counter::BusyNs => "busy_ns",
         }
     }

@@ -18,6 +18,13 @@
 #                                 # p50/p99 latency, throughput, cache-hit
 #                                 # and shed rates -> BENCH_serve.json
 #
+# The coloring modes additionally accept, after the mode flag:
+#   --kernel scalar|simd|auto     # pin the forbidden-set kernel axis
+#   --pin                         # pin workers core-major (see par::topo)
+#   --kernel-sweep                # run the report once per kernel side,
+#                                 # writing BENCH_coloring_scalar.json and
+#                                 # BENCH_coloring_simd.json for A/B diffs
+#
 # Instances are generated from the in-repo synthetic registry with a
 # fixed seed, so consecutive runs time identical work. Every coloring is
 # verified; an invalid coloring fails the run.
@@ -56,10 +63,40 @@ case "${1:-}" in
     ;;
   "" | --quick) ;;
   *)
-    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep|--serve]" >&2
+    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep|--serve]" \
+         "[--kernel K] [--pin] [--kernel-sweep]" >&2
     exit 2
     ;;
 esac
+
+# Trailing axis flags for the coloring modes, passed through to
+# bench_coloring (the --serve/--check-deep branches exit above and take
+# none).
+if [[ $# -gt 0 ]]; then shift; fi
+KERNEL_FLAGS=()
+KERNEL_SWEEP=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --kernel)
+      [[ $# -ge 2 ]] || { echo "bench.sh: --kernel needs a value" >&2; exit 2; }
+      KERNEL_FLAGS+=("--kernel" "$2")
+      shift 2
+      ;;
+    --pin)
+      KERNEL_FLAGS+=("--pin")
+      shift
+      ;;
+    --kernel-sweep)
+      KERNEL_SWEEP=1
+      shift
+      ;;
+    *)
+      echo "bench.sh: unknown trailing flag \`$1\` (expected --kernel K, --pin," \
+           "--kernel-sweep)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== cargo build --release --offline -p bench (bench_coloring)"
 cargo build --release --offline -p bench --bin bench_coloring
@@ -76,7 +113,7 @@ echo "== provenance: sha=${BENCH_GIT_SHA} host=${BENCH_HOSTNAME} threads=${BENCH
 if [[ "$TRACE_MODE" == 1 ]]; then
   echo "== bench_coloring --smoke --trace (observability smoke)"
   cargo build --release --offline -p trace --bin trace_schema_check
-  ./target/release/bench_coloring --smoke \
+  ./target/release/bench_coloring --smoke ${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"} \
     --out target/BENCH_trace_smoke.json \
     --trace target/BENCH_trace_smoke.trace.json
   echo "== trace_schema_check (chrome-trace schema + imbalance table)"
@@ -85,9 +122,22 @@ if [[ "$TRACE_MODE" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$KERNEL_SWEEP" == 1 ]]; then
+  echo "== bench_coloring kernel sweep: scalar vs simd sides"
+  for side in scalar simd; do
+    # shellcheck disable=SC2086  # MODE_FLAG is intentionally word-split
+    ./target/release/bench_coloring ${MODE_FLAG} --kernel "$side" \
+      ${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"} \
+      --out "BENCH_coloring_${side}.json"
+  done
+  echo "bench: OK (wrote BENCH_coloring_scalar.json, BENCH_coloring_simd.json)"
+  exit 0
+fi
+
 echo "== bench_coloring ${MODE_FLAG:-(full)}"
 # shellcheck disable=SC2086  # MODE_FLAG is intentionally word-split
-./target/release/bench_coloring ${MODE_FLAG} --out BENCH_coloring.json
+./target/release/bench_coloring ${MODE_FLAG} ${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"} \
+  --out BENCH_coloring.json
 
 echo "== microbench: forbidden-set representations"
 cargo bench --offline -p bench --bench forbidden

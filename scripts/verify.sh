@@ -54,6 +54,15 @@ CHECK_SEED="${CHECK_SEED:-20260806}"
 ./target/release/check_smoke --seed "$CHECK_SEED" --cases 200
 step_end "check-smoke"
 
+step_begin "check smoke: forced --kernel scalar / --kernel simd sweeps"
+# The same seeded oracle instances with the forbidden-set kernel axis
+# pinned to each side of the scalar ≡ simd contract: any divergence
+# between the spec loops and the vectorized kernels fails tier-1 here
+# even on hosts where the random axis draw would rarely pick one side.
+./target/release/check_smoke --seed "$CHECK_SEED" --cases 60 --kernel scalar
+./target/release/check_smoke --seed "$CHECK_SEED" --cases 60 --kernel simd
+step_end "check-smoke-kernels"
+
 step_begin "bench smoke: bench_coloring --smoke (verifies every coloring)"
 # The smoke run exits nonzero if any schedule produces an invalid
 # coloring; its JSON goes under target/ so it never clobbers the
