@@ -14,13 +14,22 @@
 //!
 //! `--out PATH` overrides the output path. Every measured coloring is
 //! verified; any invalid coloring aborts with a nonzero exit.
+//!
+//! The report always carries `oracle_best` — the fastest swept config per
+//! (problem, dataset, threads) cell, which `fit_engine` fits the decision
+//! table from. `--autotune` additionally measures the engine-chosen config
+//! per cell (online tuner attached) and records its time ratio against the
+//! oracle best, plus the geometric mean over all cells.
 
 use std::time::Instant;
 
 use bench::json::to_string_pretty;
 use bench::to_json_struct;
 use bgpc::verify::{verify_bgpc, verify_d2gc};
-use bgpc::{BitStampSet, ForbiddenSet, KernelImpl, RunnerOpts, Schedule, StampSet};
+use bgpc::{
+    BitStampSet, Engine, EngineConfig, ForbiddenSet, KernelImpl, OnlineTuner, RunnerOpts,
+    Schedule, StampSet,
+};
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::{Pool, Sched};
 use sparse::{Csr, CsrIndex, Dataset, IndexWidth, LocalityOrder};
@@ -66,7 +75,11 @@ struct ScheduleRecord {
     problem: String,
     dataset: String,
     schedule: String,
+    /// Worker-thread count the sweep *requested* for this cell.
     threads: usize,
+    /// Worker-thread count the pool actually spawned (can differ when the
+    /// pool clamps the request; a warning is printed when it does).
+    pool_workers: usize,
     set_impl: String,
     /// Row-pointer width the run used (`u32` or `u64`).
     index_width: String,
@@ -87,12 +100,72 @@ to_json_struct!(ScheduleRecord {
     dataset,
     schedule,
     threads,
+    pool_workers,
     set_impl,
     index_width,
     order,
     sched,
     kernel,
     time_ms,
+    num_colors,
+    rounds,
+    verified
+});
+
+/// Per-cell oracle: the fastest config the sweep measured for one
+/// (problem, dataset, threads) cell — the bar `--autotune` is judged
+/// against. Always emitted, so later fits can reuse any report.
+struct OracleRecord {
+    problem: String,
+    dataset: String,
+    threads: usize,
+    /// Winning config in the engine table's config syntax.
+    config: String,
+    time_ms: f64,
+}
+to_json_struct!(OracleRecord {
+    problem,
+    dataset,
+    threads,
+    config,
+    time_ms
+});
+
+/// One `--autotune` measurement: the engine picks the whole config from
+/// instance features, the run is measured like any sweep cell, and the
+/// result is compared against the cell's oracle best.
+struct AutotuneRecord {
+    problem: String,
+    dataset: String,
+    threads: usize,
+    pool_workers: usize,
+    /// Fully resolved engine choice, in table config syntax.
+    config: String,
+    /// Table row the choice came from (`point:<tag>` or `default`).
+    matched: String,
+    time_ms: f64,
+    /// Oracle-best time for the same cell (`null` when the sweep had no
+    /// record for it).
+    oracle_ms: Option<f64>,
+    /// `time_ms / oracle_ms` — ≤ 1.05 is the acceptance bar.
+    ratio: Option<f64>,
+    /// Online tuner actions taken during the fastest repetition.
+    actions: Vec<String>,
+    num_colors: usize,
+    rounds: usize,
+    verified: bool,
+}
+to_json_struct!(AutotuneRecord {
+    problem,
+    dataset,
+    threads,
+    pool_workers,
+    config,
+    matched,
+    time_ms,
+    oracle_ms,
+    ratio,
+    actions,
     num_colors,
     rounds,
     verified
@@ -121,6 +194,10 @@ struct BenchReport {
     hostname: String,
     /// Hardware threads available on the host.
     host_threads: usize,
+    /// Worker-thread counts the sweep requested (`threads` axis). Compare
+    /// with `host_threads` and the per-record `pool_workers` to spot
+    /// oversubscribed or clamped cells.
+    requested_threads: Vec<usize>,
     /// ISA feature set the simd dispatcher detected (`sse2,avx2`, `sse2`,
     /// or `scalar` off x86-64).
     isa: String,
@@ -131,6 +208,13 @@ struct BenchReport {
     /// Scalar vs vector first-fit on the word-packed set.
     micro_kernel: Vec<MicroKernelRecord>,
     schedules: Vec<ScheduleRecord>,
+    /// Fastest swept config per (problem, dataset, threads) cell.
+    oracle_best: Vec<OracleRecord>,
+    /// Engine-chosen runs (`--autotune`; empty otherwise).
+    autotune: Vec<AutotuneRecord>,
+    /// Geometric mean of the autotune/oracle time ratios (`null` without
+    /// `--autotune` or when no cell had an oracle record).
+    autotune_geomean: Option<f64>,
     /// Structured per-thread summary of the `--trace` run (`null` when
     /// tracing was not requested).
     trace: Option<RawJson>,
@@ -143,11 +227,15 @@ to_json_struct!(BenchReport {
     git_sha,
     hostname,
     host_threads,
+    requested_threads,
     isa,
     pinned,
     micro,
     micro_kernel,
     schedules,
+    oracle_best,
+    autotune,
+    autotune_geomean,
     trace
 });
 
@@ -260,6 +348,7 @@ fn run_bgpc<F: ForbiddenSet, I: CsrIndex>(
         dataset: dataset.into(),
         schedule: schedule.name(),
         threads,
+        pool_workers: pool.threads(),
         set_impl: set_impl.into(),
         index_width: I::LABEL.into(),
         order: "none".into(),
@@ -321,6 +410,7 @@ fn axis_record_bgpc<I: CsrIndex>(
         dataset: dataset.into(),
         schedule: schedule.name(),
         threads,
+        pool_workers: pool.threads(),
         set_impl: "auto".into(),
         index_width: I::LABEL.into(),
         order: relabel.label().into(),
@@ -379,6 +469,7 @@ fn axis_record_d2gc<I: CsrIndex>(
         dataset: dataset.into(),
         schedule: schedule.name(),
         threads,
+        pool_workers: pool.threads(),
         set_impl: "auto".into(),
         index_width: I::LABEL.into(),
         order: relabel.label().into(),
@@ -424,6 +515,7 @@ fn run_d2gc(
         dataset: dataset.into(),
         schedule: schedule.name(),
         threads,
+        pool_workers: pool.threads(),
         set_impl: "BitStampSet".into(),
         index_width: "u32".into(),
         order: "none".into(),
@@ -434,6 +526,139 @@ fn run_d2gc(
         rounds,
         verified: true,
     }
+}
+
+/// Renders a sweep record's configuration in the engine table's config
+/// syntax, so `fit_engine` and the autotune comparison speak one format.
+fn record_config(r: &ScheduleRecord) -> String {
+    let forbidden = match r.set_impl.as_str() {
+        "BitStampSet" => "bitstamp",
+        "StampSet" => "stamp",
+        _ => "auto",
+    };
+    format!(
+        "schedule={} sched={} width={} relabel={} kernel={} forbidden={}",
+        r.schedule, r.sched, r.index_width, r.order, r.kernel, forbidden
+    )
+}
+
+/// Folds the sweep down to the fastest config per (problem, dataset,
+/// threads) cell. Ties keep the first record, so the output is a
+/// deterministic function of the sweep order.
+fn oracle_section(schedules: &[ScheduleRecord]) -> Vec<OracleRecord> {
+    let mut best: Vec<OracleRecord> = Vec::new();
+    for r in schedules {
+        match best
+            .iter_mut()
+            .find(|o| o.problem == r.problem && o.dataset == r.dataset && o.threads == r.threads)
+        {
+            Some(o) => {
+                if r.time_ms < o.time_ms {
+                    o.time_ms = r.time_ms;
+                    o.config = record_config(r);
+                }
+            }
+            None => best.push(OracleRecord {
+                problem: r.problem.clone(),
+                dataset: r.dataset.clone(),
+                threads: r.threads,
+                config: record_config(r),
+                time_ms: r.time_ms,
+            }),
+        }
+    }
+    best
+}
+
+/// Measures one engine-chosen BGPC cell: `reps` runs of the resolved
+/// config (online tuner attached) on the relabeled pattern, every run
+/// verified against the original graph. Returns (best ms, colors, rounds,
+/// tuner actions of the fastest rep).
+fn autotune_bgpc<I: CsrIndex>(
+    pm: &Csr<I>,
+    g0: &BipartiteGraph,
+    perm: &Option<Vec<u32>>,
+    cfg: &EngineConfig,
+    dataset: &str,
+    pool: &Pool,
+    reps: usize,
+) -> (f64, usize, usize, Vec<String>) {
+    let g = BipartiteGraph::from_matrix(pm);
+    let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    let mut best_ms = f64::INFINITY;
+    let mut num_colors = 0;
+    let mut rounds = 0;
+    let mut actions = Vec::new();
+    for _ in 0..reps {
+        let opts = RunnerOpts {
+            online: Some(OnlineTuner::default()),
+            ..Default::default()
+        };
+        let r = bgpc::engine::color_bgpc_with_config(&g, &order, cfg, pool, opts);
+        let colors = match perm {
+            Some(p) => sparse::unpermute(&r.colors, p),
+            None => r.colors.clone(),
+        };
+        if let Err(e) = verify_bgpc(g0, &colors) {
+            eprintln!(
+                "FATAL: invalid autotuned BGPC coloring ({dataset}, {}): {e}",
+                cfg.describe()
+            );
+            std::process::exit(1);
+        }
+        let ms = r.total_time.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            num_colors = r.num_colors;
+            rounds = r.rounds();
+            actions = r.tuner_actions.iter().map(|a| a.to_string()).collect();
+        }
+    }
+    (best_ms, num_colors, rounds, actions)
+}
+
+/// D2GC analogue of [`autotune_bgpc`] over the symmetric relabeling.
+fn autotune_d2gc<I: CsrIndex>(
+    pm: &Csr<I>,
+    g0: &Graph,
+    perm: &Option<Vec<u32>>,
+    cfg: &EngineConfig,
+    dataset: &str,
+    pool: &Pool,
+    reps: usize,
+) -> (f64, usize, usize, Vec<String>) {
+    let g = Graph::from_symmetric_matrix(pm);
+    let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    let mut best_ms = f64::INFINITY;
+    let mut num_colors = 0;
+    let mut rounds = 0;
+    let mut actions = Vec::new();
+    for _ in 0..reps {
+        let opts = RunnerOpts {
+            online: Some(OnlineTuner::default()),
+            ..Default::default()
+        };
+        let r = bgpc::engine::color_d2gc_with_config(&g, &order, cfg, pool, opts);
+        let colors = match perm {
+            Some(p) => sparse::unpermute(&r.colors, p),
+            None => r.colors.clone(),
+        };
+        if let Err(e) = verify_d2gc(g0, &colors) {
+            eprintln!(
+                "FATAL: invalid autotuned D2GC coloring ({dataset}, {}): {e}",
+                cfg.describe()
+            );
+            std::process::exit(1);
+        }
+        let ms = r.total_time.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            num_colors = r.num_colors;
+            rounds = r.rounds();
+            actions = r.tuner_actions.iter().map(|a| a.to_string()).collect();
+        }
+    }
+    (best_ms, num_colors, rounds, actions)
 }
 
 /// Reads the value of `--flag` style options, exiting with the usage code
@@ -458,6 +683,7 @@ fn main() {
     let mut only_sched: Option<Sched> = None;
     let mut only_kernel: Option<KernelImpl> = None;
     let mut pin = false;
+    let mut autotune = false;
     let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -514,11 +740,15 @@ fn main() {
                 pin = true;
                 i += 1;
             }
+            "--autotune" => {
+                autotune = true;
+                i += 1;
+            }
             other => {
                 eprintln!(
                     "unknown flag `{other}` (expected --smoke, --quick, --out PATH, \
                      --trace PATH, --index-width W, --order O, --sched S, --kernel K, \
-                     --pin)"
+                     --pin, --autotune)"
                 );
                 std::process::exit(2);
             }
@@ -535,7 +765,16 @@ fn main() {
     // the other two, so sweeping it by default would duplicate a row).
     let kernels: Vec<KernelImpl> =
         only_kernel.map_or_else(|| vec![KernelImpl::Scalar, KernelImpl::Simd], |k| vec![k]);
-    let mk_pool = |t: usize| if pin { Pool::new_pinned(t) } else { Pool::new(t) };
+    let mk_pool = |t: usize| {
+        let pool = if pin { Pool::new_pinned(t) } else { Pool::new(t) };
+        if pool.threads() != t {
+            eprintln!(
+                "WARN: requested {t} worker threads but the pool runs {} — records stamp both",
+                pool.threads()
+            );
+        }
+        pool
+    };
     // Report pinning as on only when the affinity syscall actually took.
     let pinned = pin && mk_pool(1).pinned();
 
@@ -583,6 +822,15 @@ fn main() {
         ),
     };
 
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    if let Some(&max_t) = threads.iter().max() {
+        if host_threads > 0 && max_t > host_threads {
+            eprintln!(
+                "WARN: sweeping up to {max_t} threads on a {host_threads}-thread host; \
+                 oversubscribed cells measure scheduling, not scaling"
+            );
+        }
+    }
     eprintln!(
         "mode {mode}: scale {scale}, reps {reps}, threads {threads:?}, isa {}, pinned {pinned}",
         bgpc::simd::isa_features()
@@ -744,6 +992,133 @@ fn main() {
         );
     }
 
+    let oracle_best = oracle_section(&schedules);
+    for o in &oracle_best {
+        eprintln!(
+            "  oracle {} {} {}t: {:.3} ms [{}]",
+            o.problem, o.dataset, o.threads, o.time_ms, o.config
+        );
+    }
+
+    // `--autotune` reruns every (dataset, threads) cell with the engine
+    // choosing the whole config from instance features, online tuner
+    // attached, and scores each run against the cell's oracle best.
+    let mut autotune_records: Vec<AutotuneRecord> = Vec::new();
+    if autotune {
+        let engine = Engine::with_default_table();
+        let mut cells: Vec<(Dataset, &str, bool)> = Vec::new();
+        for d in &bgpc_sets {
+            cells.push((*d, "BGPC", true));
+        }
+        for d in &d2gc_sets {
+            cells.push((*d, "D2GC", false));
+        }
+        for (dataset, problem, is_bgpc) in cells {
+            let inst = dataset.build(scale, SEED);
+            let (cfg, matched, pm, perm, g0b, g0d);
+            if is_bgpc {
+                let g = BipartiteGraph::from_matrix(&inst.matrix);
+                let choice = engine.select_bgpc(&g);
+                let (p, pr) = choice.config.relabel.apply_columns(&inst.matrix);
+                cfg = choice.config;
+                matched = choice.matched;
+                pm = p;
+                perm = pr;
+                g0b = Some(g);
+                g0d = None;
+            } else {
+                let g = Graph::from_symmetric_matrix(&inst.matrix);
+                let choice = engine.select_d2gc(&g);
+                let (p, pr) = choice.config.relabel.apply_symmetric(&inst.matrix);
+                cfg = choice.config;
+                matched = choice.matched;
+                pm = p;
+                perm = pr;
+                g0b = None;
+                g0d = Some(g);
+            }
+            for &t in &threads {
+                let pool = mk_pool(t);
+                let (time_ms, num_colors, rounds, actions) = match (&g0b, &g0d, cfg.index_width)
+                {
+                    (Some(g0), _, IndexWidth::U32) => {
+                        autotune_bgpc(&pm, g0, &perm, &cfg, dataset.name(), &pool, reps)
+                    }
+                    (Some(g0), _, IndexWidth::U64) => autotune_bgpc(
+                        &pm.to_index::<u64>(),
+                        g0,
+                        &perm,
+                        &cfg,
+                        dataset.name(),
+                        &pool,
+                        reps,
+                    ),
+                    (_, Some(g0), IndexWidth::U32) => {
+                        autotune_d2gc(&pm, g0, &perm, &cfg, dataset.name(), &pool, reps)
+                    }
+                    (_, Some(g0), IndexWidth::U64) => autotune_d2gc(
+                        &pm.to_index::<u64>(),
+                        g0,
+                        &perm,
+                        &cfg,
+                        dataset.name(),
+                        &pool,
+                        reps,
+                    ),
+                    _ => unreachable!("one of the problem graphs is always built"),
+                };
+                let oracle_ms = oracle_best
+                    .iter()
+                    .find(|o| {
+                        o.problem == problem && o.dataset == dataset.name() && o.threads == t
+                    })
+                    .map(|o| o.time_ms);
+                let ratio = oracle_ms.map(|o| time_ms / o);
+                eprintln!(
+                    "  autotune {} {} {}t: {:.3} ms (oracle {}, ratio {}) [{}] via {}",
+                    problem,
+                    dataset.name(),
+                    t,
+                    time_ms,
+                    oracle_ms.map_or("n/a".into(), |o| format!("{o:.3} ms")),
+                    ratio.map_or("n/a".into(), |r| format!("{r:.3}")),
+                    cfg.describe(),
+                    matched
+                );
+                for a in &actions {
+                    eprintln!("    online {a}");
+                }
+                autotune_records.push(AutotuneRecord {
+                    problem: problem.into(),
+                    dataset: dataset.name().into(),
+                    threads: t,
+                    pool_workers: pool.threads(),
+                    config: cfg.describe(),
+                    matched: matched.clone(),
+                    time_ms,
+                    oracle_ms,
+                    ratio,
+                    actions,
+                    num_colors,
+                    rounds,
+                    verified: true,
+                });
+            }
+        }
+    }
+    let ratios: Vec<f64> = autotune_records.iter().filter_map(|r| r.ratio).collect();
+    let autotune_geomean = if ratios.is_empty() {
+        None
+    } else {
+        Some((ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp())
+    };
+    if let Some(gm) = autotune_geomean {
+        eprintln!(
+            "  autotune geomean ratio vs oracle best: {gm:.4} over {} cells",
+            ratios.len()
+        );
+    }
+
     // `--trace` runs one instrumented coloring on the first BGPC instance
     // at the highest thread count and exports it two ways: a chrome-trace
     // file for chrome://tracing / Perfetto, and a structured per-thread
@@ -785,12 +1160,16 @@ fn main() {
         hostname: std::env::var("BENCH_HOSTNAME")
             .or_else(|_| std::env::var("HOSTNAME"))
             .unwrap_or_else(|_| "unknown".into()),
-        host_threads: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        host_threads,
+        requested_threads: threads.clone(),
         isa: bgpc::simd::isa_features().into(),
         pinned,
         micro,
         micro_kernel,
         schedules,
+        oracle_best,
+        autotune: autotune_records,
+        autotune_geomean,
         trace: trace_section,
     };
     let json = to_string_pretty(&report);

@@ -9,7 +9,8 @@
 //! replays it.
 //!
 //! ```text
-//! check_smoke [--seed N] [--cases N] [--deep] [--kernel K] [--replay-case SEED]
+//! check_smoke [--seed N] [--cases N] [--deep] [--kernel K] [--autotune]
+//!             [--replay-case SEED]
 //! ```
 //!
 //! * `--seed N` — base seed (default 20260806).
@@ -19,8 +20,13 @@
 //! * `--kernel scalar|simd|auto` — pin the oracle sweep's forbidden-set
 //!   kernel axis instead of drawing it per case (`scripts/verify.sh`
 //!   forces both `scalar` and `simd` through the sweep).
+//! * `--autotune` — run *only* the engine-selection oracle sweep
+//!   ([`check::autotune`]): deterministic selection, schedule-name
+//!   round-trips, and engine-chosen configs verifying end-to-end. A
+//!   separate stage so `scripts/verify.sh` can gate it with its own
+//!   case budget without re-running the model explorations.
 //! * `--replay-case SEED` — re-run a single oracle case printed by a
-//!   failure, then exit.
+//!   failure, then exit (an autotune-sweep case with `--autotune`).
 //!
 //! Exit codes: 0 clean, 1 a check failed, 2 bad usage.
 
@@ -29,7 +35,7 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: check_smoke [--seed N] [--cases N] [--deep] [--kernel scalar|simd|auto] \
-     [--replay-case SEED]";
+     [--autotune] [--replay-case SEED]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -40,6 +46,7 @@ struct Args {
     seed: u64,
     cases: usize,
     deep: bool,
+    autotune: bool,
     kernel: Option<bgpc::KernelImpl>,
     replay_case: Option<u64>,
 }
@@ -49,6 +56,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         seed: 20260806,
         cases: 200,
         deep: false,
+        autotune: false,
         kernel: None,
         replay_case: None,
     };
@@ -66,6 +74,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--seed" => args.seed = take("--seed")?,
             "--cases" => args.cases = take("--cases")? as usize,
             "--deep" => args.deep = true,
+            "--autotune" => args.autotune = true,
             "--kernel" => {
                 let v = it.next().unwrap_or_default();
                 args.kernel = Some(bgpc::KernelImpl::from_name(&v).ok_or_else(|| {
@@ -191,8 +200,16 @@ fn main() -> ExitCode {
     };
 
     if let Some(case_seed) = args.replay_case {
-        println!("replaying oracle case seed {case_seed}");
-        return match check::run_case_from_seed_with(case_seed, args.kernel) {
+        println!(
+            "replaying {} case seed {case_seed}",
+            if args.autotune { "autotune" } else { "oracle" }
+        );
+        let outcome = if args.autotune {
+            check::run_autotune_case_from_seed(case_seed)
+        } else {
+            check::run_case_from_seed_with(case_seed, args.kernel)
+        };
+        return match outcome {
             Ok(()) => {
                 println!("  ok   case is clean");
                 ExitCode::SUCCESS
@@ -202,6 +219,28 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    if args.autotune {
+        let t0 = Instant::now();
+        println!("check_smoke: seed {} | {} autotune cases", args.seed, args.cases);
+        println!("engine-selection oracle:");
+        let ok = stage("autotune: engine sweep", args.seed, || {
+            check::run_autotune_sweep(args.seed, args.cases)
+                .map(|n| format!("{n} cases, selections deterministic and valid"))
+                .map_err(|f| {
+                    format!(
+                        "{f}\n       replay: check_smoke --autotune --replay-case {}",
+                        f.case_seed
+                    )
+                })
+        });
+        println!(
+            "check_smoke: {} in {:.2?}",
+            if ok { "PASS" } else { "FAIL" },
+            t0.elapsed()
+        );
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     let t0 = Instant::now();

@@ -18,6 +18,11 @@
 //!   balancer, chunk scheduler, forbidden-set representation and index
 //!   width against the sequential baseline on randomized instances,
 //!   checking validity, determinism and color-count bounds.
+//! * [`autotune`] — the same standard applied to configurations the
+//!   auto-tuning engine *selects*: deterministic selection, schedule
+//!   names that round-trip through `from_name`, and engine-chosen
+//!   configs (relabeling, index width, online tuner) verifying
+//!   end-to-end on the original vertex ids.
 //! * [`faultcov`] — proves each registered `par::faults` fail point is
 //!   *caught*: the injected panic fires, the degrade report names the
 //!   right phase, and the repaired coloring verifies.
@@ -27,11 +32,13 @@
 //! runs the long randomized sweep. On failure both print the seed that
 //! replays the offending case.
 
+pub mod autotune;
 pub mod faultcov;
 pub mod models;
 pub mod oracle;
 pub mod vsched;
 
+pub use autotune::{run_autotune_case_from_seed, run_autotune_sweep};
 pub use oracle::{
     run_case_from_seed, run_case_from_seed_with, run_oracle_sweep, run_oracle_sweep_with,
     OracleFailure,

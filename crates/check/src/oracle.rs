@@ -70,7 +70,7 @@ impl Draw for PcgDraw {
     }
 }
 
-fn pick_ordering(d: &mut impl Draw) -> Ordering {
+pub(crate) fn pick_ordering(d: &mut impl Draw) -> Ordering {
     match d.usize_in(0..5) {
         0 => Ordering::Natural,
         1 => Ordering::Random(d.u64_any()),
@@ -110,7 +110,7 @@ fn pick_kernel(d: &mut impl Draw, forced: Option<KernelImpl>) -> KernelImpl {
 
 /// Exact maximum distance-2 degree of the colored side of a bipartite
 /// graph (distinct d2 neighbors, excluding the vertex itself).
-fn max_d2_degree_bgpc(g: &BipartiteGraph) -> usize {
+pub(crate) fn max_d2_degree_bgpc(g: &BipartiteGraph) -> usize {
     let mut max = 0usize;
     let mut seen = std::collections::HashSet::new();
     for u in 0..g.n_vertices() {
@@ -126,7 +126,7 @@ fn max_d2_degree_bgpc(g: &BipartiteGraph) -> usize {
 }
 
 /// Exact maximum distance-≤2 degree of a unipartite graph.
-fn max_d2_degree_graph(g: &Graph) -> usize {
+pub(crate) fn max_d2_degree_graph(g: &Graph) -> usize {
     let mut max = 0usize;
     let mut seen = std::collections::HashSet::new();
     for u in 0..g.n_vertices() {

@@ -59,6 +59,18 @@ pub struct ColorArgs {
     pub metrics: bool,
     /// Pin team members to CPUs in topology order and steal near-first.
     pub pin: bool,
+    /// Let the engine pick the configuration from instance features
+    /// (explicitly passed flags still override the engine's choice) and
+    /// enable the online between-iteration tuner.
+    pub autotune: bool,
+    /// `--schedule` was passed explicitly (engine override tracking).
+    pub explicit_schedule: bool,
+    /// `--sched` was passed explicitly.
+    pub explicit_sched: bool,
+    /// `--kernel` was passed explicitly.
+    pub explicit_kernel: bool,
+    /// `--relabel` was passed explicitly.
+    pub explicit_relabel: bool,
 }
 
 /// Usage text for the `color` command.
@@ -69,7 +81,7 @@ usage: bgpc-cli color [--mtx FILE | --bin FILE | --dataset NAME [--scale F] [--s
                       [--index-width auto|u32|u64] [--relabel none|degree|bfs]
                       [--sched dynamic|steal] [--kernel scalar|simd|auto] [--pin]
                       [--threads N] [--recolor] [--output FILE]
-                      [--trace FILE] [--metrics]
+                      [--trace FILE] [--metrics] [--autotune]
 
 schedules: V-V, V-V-64, V-V-64D, V-Ninf, V-N1, V-N2, N1-N2, N2-N2
            (append -B1 or -B2 for the balancing heuristics)
@@ -97,6 +109,11 @@ impl ColorArgs {
         let mut output = None;
         let mut trace = None;
         let mut metrics = false;
+        let mut autotune = false;
+        let mut explicit_schedule = false;
+        let mut explicit_sched = false;
+        let mut explicit_kernel = false;
+        let mut explicit_relabel = false;
 
         let mut i = 0;
         while i < args.len() {
@@ -136,6 +153,7 @@ impl ColorArgs {
                 "--schedule" => {
                     schedule = Schedule::from_name(value(i)?)
                         .ok_or_else(|| format!("unknown schedule `{}`", args[i + 1]))?;
+                    explicit_schedule = true;
                     i += 2;
                 }
                 "--order" => {
@@ -161,17 +179,24 @@ impl ColorArgs {
                 "--relabel" => {
                     relabel = LocalityOrder::from_name(value(i)?)
                         .ok_or_else(|| format!("unknown relabeling `{}`", args[i + 1]))?;
+                    explicit_relabel = true;
                     i += 2;
                 }
                 "--sched" => {
                     sched = par::Sched::from_name(value(i)?)
                         .ok_or_else(|| format!("unknown chunk scheduler `{}`", args[i + 1]))?;
+                    explicit_sched = true;
                     i += 2;
                 }
                 "--kernel" => {
                     kernel = bgpc::KernelImpl::from_name(value(i)?)
                         .ok_or_else(|| format!("unknown kernel `{}`", args[i + 1]))?;
+                    explicit_kernel = true;
                     i += 2;
+                }
+                "--autotune" => {
+                    autotune = true;
+                    i += 1;
                 }
                 "--pin" => {
                     pin = true;
@@ -219,7 +244,27 @@ impl ColorArgs {
             trace,
             metrics,
             pin,
+            autotune,
+            explicit_schedule,
+            explicit_sched,
+            explicit_kernel,
+            explicit_relabel,
         })
+    }
+
+    /// The explicitly passed flags as engine overrides: under
+    /// `--autotune` the engine proposes a config and these always win.
+    /// `--index-width auto` is *not* an override (it asks for the
+    /// heuristic, which the engine subsumes); any concrete width is.
+    pub fn engine_overrides(&self) -> bgpc::Overrides {
+        bgpc::Overrides {
+            schedule: self.explicit_schedule.then(|| self.schedule.clone()),
+            sched: self.explicit_sched.then_some(self.schedule.sched),
+            kernel: self.explicit_kernel.then_some(self.schedule.kernel),
+            relabel: self.explicit_relabel.then_some(self.relabel),
+            index_width: self.index_width,
+            forbidden: None,
+        }
     }
 }
 
@@ -326,6 +371,42 @@ mod tests {
         assert!(!a.metrics);
         // --trace requires a value
         assert!(ColorArgs::parse(&s(&["--mtx", "m.mtx", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn parse_autotune_and_override_tracking() {
+        let a = ColorArgs::parse(&s(&["--mtx", "m.mtx", "--autotune"])).unwrap();
+        assert!(a.autotune);
+        // Nothing explicit: the engine owns every axis.
+        let ov = a.engine_overrides();
+        assert!(!ov.any());
+
+        let a = ColorArgs::parse(&s(&[
+            "--mtx",
+            "m.mtx",
+            "--autotune",
+            "--schedule",
+            "v-v",
+            "--sched",
+            "steal",
+            "--index-width",
+            "u64",
+        ]))
+        .unwrap();
+        let ov = a.engine_overrides();
+        assert_eq!(ov.schedule.as_ref().map(|sc| sc.name()), Some("V-V".into()));
+        assert_eq!(ov.sched, Some(par::Sched::Stealing));
+        assert_eq!(ov.index_width, Some(IndexWidth::U64));
+        assert_eq!(ov.kernel, None, "--kernel not passed");
+        assert_eq!(ov.relabel, None, "--relabel not passed");
+
+        // `--index-width auto` asks for the heuristic, not an override.
+        let a = ColorArgs::parse(&s(&["--mtx", "m", "--autotune", "--index-width", "auto"]))
+            .unwrap();
+        assert!(!a.engine_overrides().any());
+        // Without --autotune the flag parses but stays off.
+        let a = ColorArgs::parse(&s(&["--mtx", "m"])).unwrap();
+        assert!(!a.autotune);
     }
 
     #[test]

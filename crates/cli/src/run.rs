@@ -115,31 +115,54 @@ fn load(input: &Input) -> Result<Csr, Failure> {
 }
 
 /// Runs the BGPC driver on an already-relabeled pattern at width `I`.
+/// `forbidden` forces the engine-chosen forbidden-set representation;
+/// `None` keeps the runner's per-instance dispatch.
 fn run_bgpc_width<I: CsrIndex>(
     m: Csr<I>,
     schedule: &Schedule,
     ordering: Ordering,
     pool: &Pool,
+    forbidden: Option<bgpc::ForbiddenKind>,
+    opts: bgpc::RunnerOpts,
 ) -> Result<bgpc::ColoringResult, Failure> {
     let g = BipartiteGraph::try_from_matrix_owned(m)
         .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
     let order = ordering.vertex_order_bgpc(&g);
-    bgpc::try_color_bgpc(&g, &order, schedule, pool)
-        .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))
+    Ok(match forbidden {
+        Some(bgpc::ForbiddenKind::Stamp) => {
+            bgpc::color_bgpc_with_set::<bgpc::StampSet, I>(&g, &order, schedule, pool, opts)
+        }
+        Some(bgpc::ForbiddenKind::BitStamp) => {
+            bgpc::color_bgpc_with_set::<bgpc::BitStampSet, I>(&g, &order, schedule, pool, opts)
+        }
+        None => bgpc::color_bgpc_with_opts(&g, &order, schedule, pool, opts),
+    })
 }
 
-/// Runs the D2GC driver on an already-relabeled pattern at width `I`.
+/// Runs the D2GC driver on an already-relabeled pattern at width `I`
+/// (same `forbidden` contract as [`run_bgpc_width`]).
 fn run_d2gc_width<I: CsrIndex>(
     m: &Csr<I>,
     schedule: &Schedule,
     ordering: Ordering,
     pool: &Pool,
+    forbidden: Option<bgpc::ForbiddenKind>,
+    opts: bgpc::RunnerOpts,
 ) -> Result<bgpc::ColoringResult, Failure> {
     let g = Graph::try_from_symmetric_matrix(m)
         .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
     let order = ordering.vertex_order_d2(&g);
-    bgpc::d2gc::try_color_d2gc(&g, &order, schedule, pool)
-        .map_err(|e| Failure::new(EXIT_INTERNAL, e.to_string()))
+    Ok(match forbidden {
+        Some(bgpc::ForbiddenKind::Stamp) => {
+            bgpc::d2gc::color_d2gc_with_set::<bgpc::StampSet, I>(&g, &order, schedule, pool, opts)
+        }
+        Some(bgpc::ForbiddenKind::BitStamp) => {
+            bgpc::d2gc::color_d2gc_with_set::<bgpc::BitStampSet, I>(
+                &g, &order, schedule, pool, opts,
+            )
+        }
+        None => bgpc::d2gc::color_d2gc_with_opts(&g, &order, schedule, pool, opts),
+    })
 }
 
 /// Maps a coloring computed on a relabeled instance back to original ids.
@@ -164,9 +187,47 @@ pub fn cmd_color(flags: &[String]) -> i32 {
 
 fn color(args: ColorArgs) -> Result<(), Failure> {
     let matrix = load(&args.input)?;
-    let width = args
-        .index_width
-        .unwrap_or_else(|| IndexWidth::auto_for(matrix.nnz()));
+
+    // Under --autotune the engine proposes the full config from instance
+    // features; explicitly passed flags always override its choices. The
+    // d1gc/dk variants have no engine table — they keep explicit flags.
+    let mut schedule = args.schedule.clone();
+    let mut relabel = args.relabel;
+    let mut width_request = args.index_width;
+    let mut forbidden: Option<bgpc::ForbiddenKind> = None;
+    if args.autotune {
+        match args.problem {
+            Problem::Bgpc | Problem::D2gc => {
+                let engine = bgpc::Engine::with_default_table();
+                let choice = match args.problem {
+                    Problem::Bgpc => {
+                        let g = BipartiteGraph::try_from_matrix(&matrix)
+                            .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
+                        engine.select_bgpc(&g)
+                    }
+                    _ => {
+                        let g = Graph::try_from_symmetric_matrix(&matrix)
+                            .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
+                        engine.select_d2gc(&g)
+                    }
+                };
+                let mut cfg = choice.config;
+                args.engine_overrides().apply(&mut cfg);
+                out!("autotune: {} (matched {})", cfg.describe(), choice.matched);
+                schedule = cfg.schedule.clone();
+                relabel = cfg.relabel;
+                width_request = Some(cfg.index_width);
+                forbidden = Some(cfg.forbidden);
+            }
+            _ => out!("autotune: no table for {:?}; using explicit flags", args.problem),
+        }
+    }
+    let opts = bgpc::RunnerOpts {
+        online: args.autotune.then(bgpc::OnlineTuner::default),
+        ..Default::default()
+    };
+
+    let width = width_request.unwrap_or_else(|| IndexWidth::auto_for(matrix.nnz()));
     out!(
         "pattern: {} x {}, {} nnz; problem {:?}, schedule {}, {} threads, {} order, \
          {} indices, {} relabel, {} chunks",
@@ -174,12 +235,12 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         matrix.ncols(),
         matrix.nnz(),
         args.problem,
-        args.schedule.name(),
+        schedule.name(),
         args.threads,
         args.ordering.label(),
         width.label(),
-        args.relabel.label(),
-        args.schedule.sched,
+        relabel.label(),
+        schedule.sched,
     );
     let mut pool = if args.pin {
         // Pinning is best-effort: off Linux (or under a restricted
@@ -204,13 +265,21 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
             // back and re-verified against this one.
             let g = BipartiteGraph::try_from_matrix(&matrix)
                 .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
-            let (pm, perm) = args.relabel.apply_columns(&matrix);
+            let (pm, perm) = relabel.apply_columns(&matrix);
             let r = match width {
-                IndexWidth::U32 => run_bgpc_width(pm, &args.schedule, args.ordering, &pool)?,
-                IndexWidth::U64 => {
-                    run_bgpc_width(pm.to_index::<u64>(), &args.schedule, args.ordering, &pool)?
+                IndexWidth::U32 => {
+                    run_bgpc_width(pm, &schedule, args.ordering, &pool, forbidden, opts)?
                 }
+                IndexWidth::U64 => run_bgpc_width(
+                    pm.to_index::<u64>(),
+                    &schedule,
+                    args.ordering,
+                    &pool,
+                    forbidden,
+                    opts,
+                )?,
             };
+            report_tuner_actions(&r.tuner_actions);
             report_degradation(&r.degraded);
             let total_ms = r.total_time.as_secs_f64() * 1e3;
             let rounds = r.rounds();
@@ -233,18 +302,26 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
             let order = args.ordering.vertex_order_d2(&g);
             match args.problem {
                 Problem::D2gc => {
-                    let (pm, perm) = args.relabel.apply_symmetric(&matrix);
+                    let (pm, perm) = relabel.apply_symmetric(&matrix);
                     let r = match width {
-                        IndexWidth::U32 => {
-                            run_d2gc_width(&pm, &args.schedule, args.ordering, &pool)?
-                        }
-                        IndexWidth::U64 => run_d2gc_width(
-                            &pm.to_index::<u64>(),
-                            &args.schedule,
+                        IndexWidth::U32 => run_d2gc_width(
+                            &pm,
+                            &schedule,
                             args.ordering,
                             &pool,
+                            forbidden,
+                            opts,
+                        )?,
+                        IndexWidth::U64 => run_d2gc_width(
+                            &pm.to_index::<u64>(),
+                            &schedule,
+                            args.ordering,
+                            &pool,
+                            forbidden,
+                            opts,
                         )?,
                     };
+                    report_tuner_actions(&r.tuner_actions);
                     report_degradation(&r.degraded);
                     let total_ms = r.total_time.as_secs_f64() * 1e3;
                     let rounds = r.rounds();
@@ -351,6 +428,14 @@ fn color(args: ColorArgs) -> Result<(), Failure> {
         out!("colors written to {path}");
     }
     Ok(())
+}
+
+/// Surfaces the online tuner's between-iteration refinements (only ever
+/// non-empty under `--autotune`).
+fn report_tuner_actions(actions: &[bgpc::TunerAction]) {
+    for a in actions {
+        out!("autotune: online {a}");
+    }
 }
 
 /// A degraded run is still a valid coloring; surface how it got there.
@@ -666,6 +751,46 @@ mod tests {
                 assert_eq!(code, 0, "{problem}/{kernel}");
             }
         }
+    }
+
+    #[test]
+    fn autotune_runs_color_and_verify_both_problems() {
+        for problem in ["bgpc", "d2gc"] {
+            let code = cmd_color(&s(&[
+                "--dataset",
+                "af_shell10",
+                "--scale",
+                "0.002",
+                "--problem",
+                problem,
+                "--autotune",
+            ]));
+            assert_eq!(code, 0, "{problem}");
+        }
+        // Explicit flags still override under --autotune.
+        let code = cmd_color(&s(&[
+            "--dataset",
+            "af_shell10",
+            "--scale",
+            "0.002",
+            "--autotune",
+            "--schedule",
+            "v-v",
+            "--sched",
+            "steal",
+        ]));
+        assert_eq!(code, 0);
+        // Engine has no table for d1gc: flags apply, run still succeeds.
+        let code = cmd_color(&s(&[
+            "--dataset",
+            "af_shell10",
+            "--scale",
+            "0.002",
+            "--problem",
+            "d1gc",
+            "--autotune",
+        ]));
+        assert_eq!(code, 0);
     }
 
     #[test]

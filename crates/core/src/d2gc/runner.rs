@@ -46,16 +46,12 @@ pub fn try_color_d2gc<I: CsrIndex>(
     Ok(color_d2gc(g, order, schedule, pool))
 }
 
-/// Degree above which the runner prefers the per-color stamp array, for
-/// the same insert-dominance reason as
-/// [`crate::runner::color_bgpc_with_opts`] (D2GC's neighborhoods are
-/// bounded by the maximum degree rather than the maximum net size).
-const DENSE_DEGREE_THRESHOLD: usize = 128;
-
 /// [`color_d2gc`] with explicit [`RunnerOpts`]. Picks the forbidden-set
 /// representation per instance exactly like
-/// [`crate::color_bgpc_with_opts`]; use [`color_d2gc_with_set`] to force
-/// one.
+/// [`crate::color_bgpc_with_opts`], with the same
+/// [`crate::tuning::DENSE_FORBIDDEN_CUTOFF`] threshold applied to the
+/// maximum degree (D2GC's neighborhood bound) rather than the maximum
+/// net size; use [`color_d2gc_with_set`] to force one.
 pub fn color_d2gc_with_opts<I: CsrIndex>(
     g: &Graph<I>,
     order: &[u32],
@@ -63,7 +59,7 @@ pub fn color_d2gc_with_opts<I: CsrIndex>(
     pool: &Pool,
     opts: RunnerOpts,
 ) -> ColoringResult {
-    if g.max_degree() > DENSE_DEGREE_THRESHOLD {
+    if g.max_degree() > crate::tuning::DENSE_FORBIDDEN_CUTOFF {
         color_d2gc_with_set::<crate::StampSet, I>(g, order, schedule, pool, opts)
     } else {
         color_d2gc_with_set::<crate::BitStampSet, I>(g, order, schedule, pool, opts)
@@ -91,6 +87,11 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
     }
     let colors = Colors::new(n);
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
+
+    // The online tuner refines a working copy between iterations;
+    // `schedule` itself stays the caller's requested configuration.
+    let mut live = schedule.clone();
+    let mut tuner_actions = Vec::new();
 
     let mut w: Vec<u32> = order.to_vec();
     let mut iterations = Vec::new();
@@ -140,8 +141,8 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
         }
 
         let queue_in = w.len();
-        let color_kind = schedule.color_kind(iter);
-        let conflict_kind = schedule.conflict_kind(iter);
+        let color_kind = live.color_kind(iter);
+        let conflict_kind = live.conflict_kind(iter);
 
         // Phase-bracketing snapshots, exactly as in [`crate::runner`]:
         // deltas of the monotonic sheets become `ThreadIterStats`.
@@ -154,17 +155,17 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 &w,
                 &colors,
                 pool,
-                schedule.chunk,
-                schedule.sched,
-                schedule.balance,
+                live.chunk,
+                live.sched,
+                live.balance,
                 &scratch,
             ),
             PhaseKind::Net => net::color_workqueue_net(
                 g,
                 &colors,
                 pool,
-                schedule.sched,
-                schedule.balance,
+                live.sched,
+                live.balance,
                 &scratch,
             ),
         });
@@ -209,13 +210,13 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 &w,
                 &colors,
                 pool,
-                schedule.chunk,
-                schedule.sched,
+                live.chunk,
+                live.sched,
                 eager_queue.as_ref(),
                 &mut scratch,
             ),
             PhaseKind::Net => {
-                net::remove_conflicts_net(g, &colors, pool, schedule.sched, &scratch);
+                net::remove_conflicts_net(g, &colors, pool, live.sched, &scratch);
                 net::collect_uncolored(order, &colors, pool, &mut scratch)
             }
         });
@@ -302,6 +303,10 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
             queue_out: wnext.len(),
             per_thread,
         });
+        if let Some(tuner) = &opts.online {
+            let m = iterations.last().expect("metrics just pushed");
+            tuner_actions.extend(tuner.refine(&mut live, m, pool.threads()));
+        }
         w = wnext;
         iter += 1;
     }
@@ -314,6 +319,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
         iterations,
         total_time: start.elapsed(),
         degraded,
+        tuner_actions,
     }
 }
 

@@ -30,6 +30,8 @@
 //! * [`Schedule`] — which algorithm combination to run ([`Schedule::all`]
 //!   lists the paper's eight).
 //! * [`Balance`] — the B1/B2 cardinality-balancing heuristics (§V).
+//! * [`Engine`] — feature-driven config selection plus the
+//!   [`OnlineTuner`] refinement loop (the `--autotune` path).
 //! * [`verify`] — validity oracles and color-set statistics.
 //!
 //! ```
@@ -55,6 +57,7 @@ pub mod ctx;
 pub mod d1gc;
 pub mod d2gc;
 pub mod dkgc;
+pub mod engine;
 pub mod error;
 pub mod forbidden;
 pub mod jp;
@@ -73,9 +76,16 @@ pub mod workqueue;
 pub use balance::Balance;
 pub use cancel::CancelToken;
 pub use color::{Color, Colors, UNCOLORED};
+pub use engine::{
+    Engine, EngineChoice, EngineConfig, ForbiddenKind, InstanceFeatures, OnlineTuner,
+    Overrides, ProblemKind,
+};
 pub use error::ColoringError;
 pub use forbidden::{BitStampSet, ForbiddenSet, StampSet};
-pub use metrics::{ColoringResult, DegradeReason, FailedPhase, IterationMetrics};
+pub use metrics::{
+    ColoringResult, DegradeReason, FailedPhase, IterationMetrics, TunerAction,
+    TunerActionKind,
+};
 pub use runner::{
     color_bgpc, color_bgpc_with_opts, color_bgpc_with_set, try_color_bgpc, RunnerOpts,
 };

@@ -38,6 +38,13 @@ pub struct RunnerOpts {
     /// layer's watchdog trips it). A cancelled run degrades exactly like a
     /// missed deadline: valid, complete, tagged `DeadlineExceeded`.
     pub cancel: Option<crate::CancelToken>,
+    /// Between-iteration refinement: when set, the driver hands each
+    /// completed iteration's metrics to the tuner, which may truncate net
+    /// phases, flip the chunk scheduler, or shrink the chunk size for the
+    /// *remaining* iterations (the `--autotune` online loop). Actions are
+    /// reported in [`ColoringResult::tuner_actions`]; `None` keeps the
+    /// schedule fixed for the whole run.
+    pub online: Option<crate::engine::OnlineTuner>,
 }
 
 impl Default for RunnerOpts {
@@ -46,6 +53,7 @@ impl Default for RunnerOpts {
             max_iterations: MAX_ITERATIONS,
             deadline: None,
             cancel: None,
+            online: None,
         }
     }
 }
@@ -92,19 +100,11 @@ pub fn try_color_bgpc<I: CsrIndex>(
     Ok(color_bgpc(g, order, schedule, pool))
 }
 
-/// Net size above which the runner prefers the per-color stamp array
-/// over the word-packed bitmap. The greedy bound caps every chosen color
-/// by the distance-2 degree, so a vertex's first-fit scan can never probe
-/// more colors than its kernels inserted — on giant-net instances the
-/// per-edge insert traffic dwarfs any scan savings, and the stamp array's
-/// single-store insert wins end to end (see `BENCH_coloring.json`, which
-/// records both representations per schedule).
-const DENSE_NET_THRESHOLD: usize = 128;
-
 /// [`color_bgpc`] with explicit [`RunnerOpts`]. Picks the forbidden-set
 /// representation per instance: the word-packed [`crate::BitStampSet`]
 /// by default, the per-color [`crate::StampSet`] when the largest net
-/// exceeds `DENSE_NET_THRESHOLD` (insert-dominated regime). Use
+/// exceeds [`crate::tuning::DENSE_FORBIDDEN_CUTOFF`] (insert-dominated
+/// regime — see the constant's docs for why). Use
 /// [`color_bgpc_with_set`] to force a representation.
 pub fn color_bgpc_with_opts<I: CsrIndex>(
     g: &BipartiteGraph<I>,
@@ -113,7 +113,7 @@ pub fn color_bgpc_with_opts<I: CsrIndex>(
     pool: &Pool,
     opts: RunnerOpts,
 ) -> ColoringResult {
-    if g.max_net_size() > DENSE_NET_THRESHOLD {
+    if g.max_net_size() > crate::tuning::DENSE_FORBIDDEN_CUTOFF {
         color_bgpc_with_set::<crate::StampSet, I>(g, order, schedule, pool, opts)
     } else {
         color_bgpc_with_set::<crate::BitStampSet, I>(g, order, schedule, pool, opts)
@@ -145,6 +145,11 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
     }
     // Eager shared queue, only allocated when the schedule needs it.
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
+
+    // The online tuner refines a working copy between iterations;
+    // `schedule` itself stays the caller's requested configuration.
+    let mut live = schedule.clone();
+    let mut tuner_actions = Vec::new();
 
     let mut w: Vec<u32> = order.to_vec();
     let mut iterations = Vec::new();
@@ -199,8 +204,8 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
         }
 
         let queue_in = w.len();
-        let color_kind = schedule.color_kind(iter);
-        let conflict_kind = schedule.conflict_kind(iter);
+        let color_kind = live.color_kind(iter);
+        let conflict_kind = live.conflict_kind(iter);
 
         // Counter snapshots bracket each phase so the per-iteration
         // `ThreadIterStats` are exact deltas of the monotonic sheets; the
@@ -215,18 +220,18 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 &w,
                 &colors,
                 pool,
-                schedule.chunk,
-                schedule.sched,
-                schedule.balance,
+                live.chunk,
+                live.sched,
+                live.balance,
                 &scratch,
             ),
             PhaseKind::Net => net::color_workqueue_net(
                 g,
                 &colors,
                 pool,
-                schedule.sched,
-                schedule.net_variant,
-                schedule.balance,
+                live.sched,
+                live.net_variant,
+                live.balance,
                 &scratch,
             ),
         });
@@ -271,13 +276,13 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
                 &w,
                 &colors,
                 pool,
-                schedule.chunk,
-                schedule.sched,
+                live.chunk,
+                live.sched,
                 eager_queue.as_ref(),
                 &mut scratch,
             ),
             PhaseKind::Net => {
-                net::remove_conflicts_net(g, &colors, pool, schedule.sched, &scratch);
+                net::remove_conflicts_net(g, &colors, pool, live.sched, &scratch);
                 net::collect_uncolored(order, &colors, pool, &mut scratch)
             }
         });
@@ -370,6 +375,10 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
             queue_out: wnext.len(),
             per_thread,
         });
+        if let Some(tuner) = &opts.online {
+            let m = iterations.last().expect("metrics just pushed");
+            tuner_actions.extend(tuner.refine(&mut live, m, pool.threads()));
+        }
         w = wnext;
         iter += 1;
     }
@@ -382,6 +391,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
         iterations,
         total_time: start.elapsed(),
         degraded,
+        tuner_actions,
     }
 }
 

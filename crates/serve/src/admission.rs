@@ -31,8 +31,9 @@ pub struct Job {
     pub deadline: Option<Instant>,
     /// Skip the result cache for this job.
     pub no_cache: bool,
-    /// Resolved schedule.
-    pub schedule: bgpc::Schedule,
+    /// Resolved schedule; `None` lets the auto-tuning engine pick the
+    /// whole config from instance features at execution time.
+    pub schedule: Option<bgpc::Schedule>,
     /// The decoded pattern.
     pub matrix: sparse::Csr,
     /// Content fingerprint of `matrix` (cache key).
@@ -172,7 +173,7 @@ mod tests {
             priority,
             deadline: None,
             no_cache: false,
-            schedule: bgpc::Schedule::n1_n2(),
+            schedule: Some(bgpc::Schedule::n1_n2()),
             matrix: sparse::Csr::empty(1, 1),
             fingerprint: 0,
             reply: tx,

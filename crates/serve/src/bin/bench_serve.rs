@@ -193,6 +193,25 @@ fn main() {
             .unwrap_or(0)
     };
     let peak_depth = daemon.peak_queue_depth();
+    // Host stamping: record the thread count we *asked* for and the
+    // worker count the daemon's pool *actually* spawned as separate
+    // fields — rows from clamped or oversubscribed runs must not be
+    // compared as if the request had been honored.
+    let pool_workers = daemon.pool_workers();
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    if pool_workers != args.threads {
+        eprintln!(
+            "bench_serve: WARN: requested {} worker threads but the pool runs {pool_workers}",
+            args.threads
+        );
+    }
+    if host_threads > 0 && args.threads > host_threads {
+        eprintln!(
+            "bench_serve: WARN: requested {} worker threads on a host with {host_threads} \
+             logical CPUs; latencies reflect oversubscription",
+            args.threads
+        );
+    }
     drop(daemon);
     let _ = std::fs::remove_dir_all(&cache_dir);
 
@@ -226,7 +245,12 @@ fn main() {
     json.push_str(&format!("  \"clients\": {},\n", args.clients));
     json.push_str(&format!("  \"distinct_matrices\": {},\n", args.distinct));
     json.push_str(&format!("  \"queue_capacity\": {},\n", args.queue_capacity));
-    json.push_str(&format!("  \"pool_threads\": {},\n", args.threads));
+    // Requested vs actually-spawned worker counts, stamped separately
+    // (plus the host's logical CPU count) so a clamped pool or an
+    // oversubscribed host is visible in the archived numbers.
+    json.push_str(&format!("  \"requested_threads\": {},\n", args.threads));
+    json.push_str(&format!("  \"pool_workers\": {pool_workers},\n"));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     // ISA features the coloring kernels dispatched on, and whether the
     // daemon's pool was pinned (it never is — affinity is a bench/CLI
     // axis, not a service default) — stamped so BENCH_serve.json rows

@@ -22,17 +22,26 @@
 //! `kill -9` hits — so the crash-consistency property is exercised
 //! in-process by `servecov` as well as by the verify-script kill test.
 //!
-//! ## Entry layout (`BGPCRES1`)
+//! ## Entry layout (`BGPCRES2`)
 //!
 //! ```text
-//! magic        8 bytes  b"BGPCRES1"
-//! version      4 bytes  u32 LE = 1
+//! magic        8 bytes  b"BGPCRES2"
+//! version      4 bytes  u32 LE = 2
 //! fingerprint 16 bytes  u128 LE — must match the file stem
 //! num_colors   4 bytes  u32 LE
+//! config_len   4 bytes  u32 LE — UTF-8 bytes of the config description
+//! config       config_len bytes — the config the coloring was computed
+//!              with (engine `describe()` syntax), so cached fingerprints
+//!              record the chosen configuration
 //! n            8 bytes  u64 LE — vertex count
 //! colors       n*4      i32 LE each
 //! checksum     8 bytes  u64 LE — FNV-1a 64 of all preceding bytes
 //! ```
+//!
+//! Entries in the retired `BGPCRES1` layout fail the magic check and are
+//! treated exactly like corruption: removed on read, recomputed, and
+//! re-stored in the current format — the cache self-heals across the
+//! format bump.
 
 use std::fs;
 use std::io::Write;
@@ -43,8 +52,8 @@ use sparse::bin_io::Fnv1a;
 
 use crate::fingerprint::fingerprint_hex;
 
-const ENTRY_MAGIC: [u8; 8] = *b"BGPCRES1";
-const ENTRY_VERSION: u32 = 1;
+const ENTRY_MAGIC: [u8; 8] = *b"BGPCRES2";
+const ENTRY_VERSION: u32 = 2;
 const ENTRY_EXT: &str = "bgpcres";
 
 /// A cached coloring.
@@ -52,6 +61,9 @@ const ENTRY_EXT: &str = "bgpcres";
 pub struct CachedColoring {
     /// Number of distinct colors.
     pub num_colors: u32,
+    /// Config the coloring was computed with (engine `describe()` syntax,
+    /// or a `schedule=<name>` stub for explicit-schedule jobs).
+    pub config: String,
     /// Color per vertex.
     pub colors: Vec<i32>,
 }
@@ -149,11 +161,14 @@ impl ResultCache {
 }
 
 fn encode_entry(fp: u128, c: &CachedColoring) -> Vec<u8> {
-    let mut out = Vec::with_capacity(48 + c.colors.len() * 4);
+    let cfg = c.config.as_bytes();
+    let mut out = Vec::with_capacity(52 + cfg.len() + c.colors.len() * 4);
     out.extend_from_slice(&ENTRY_MAGIC);
     out.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
     out.extend_from_slice(&fp.to_le_bytes());
     out.extend_from_slice(&c.num_colors.to_le_bytes());
+    out.extend_from_slice(&(cfg.len() as u32).to_le_bytes());
+    out.extend_from_slice(cfg);
     out.extend_from_slice(&(c.colors.len() as u64).to_le_bytes());
     for &col in &c.colors {
         out.extend_from_slice(&col.to_le_bytes());
@@ -165,8 +180,9 @@ fn encode_entry(fp: u128, c: &CachedColoring) -> Vec<u8> {
 }
 
 fn decode_entry(bytes: &[u8], want_fp: u128) -> Option<CachedColoring> {
-    // Fixed header (40) + trailer (8).
-    if bytes.len() < 48 || bytes[..8] != ENTRY_MAGIC {
+    // Fixed header (36) + config + n (8) + trailer (8). A BGPCRES1 entry
+    // fails the magic comparison here and is removed by the caller.
+    if bytes.len() < 52 || bytes[..8] != ENTRY_MAGIC {
         return None;
     }
     let body = &bytes[..bytes.len() - 8];
@@ -185,15 +201,23 @@ fn decode_entry(bytes: &[u8], want_fp: u128) -> Option<CachedColoring> {
         return None;
     }
     let num_colors = u32::from_le_bytes(bytes[28..32].try_into().expect("4-byte slice"));
-    let n = u64::from_le_bytes(bytes[32..40].try_into().expect("8-byte slice")) as usize;
-    if body.len() != 40 + n.checked_mul(4)? {
+    let cfg_len = u32::from_le_bytes(bytes[32..36].try_into().expect("4-byte slice")) as usize;
+    let colors_at = 36usize.checked_add(cfg_len)?.checked_add(8)?;
+    if body.len() < colors_at {
         return None;
     }
-    let colors = body[40..]
+    let config = String::from_utf8(body[36..36 + cfg_len].to_vec()).ok()?;
+    let n = u64::from_le_bytes(
+        body[36 + cfg_len..colors_at].try_into().expect("8-byte slice"),
+    ) as usize;
+    if body.len() != colors_at.checked_add(n.checked_mul(4)?)? {
+        return None;
+    }
+    let colors = body[colors_at..]
         .chunks_exact(4)
         .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
-    Some(CachedColoring { num_colors, colors })
+    Some(CachedColoring { num_colors, config, colors })
 }
 
 #[cfg(test)]
@@ -212,7 +236,13 @@ mod tests {
     }
 
     fn sample() -> CachedColoring {
-        CachedColoring { num_colors: 3, colors: vec![0, 1, 2, 0, 1] }
+        CachedColoring {
+            num_colors: 3,
+            config: "schedule=N1-N2 sched=dynamic width=u32 relabel=none kernel=auto \
+                     forbidden=auto"
+                .into(),
+            colors: vec![0, 1, 2, 0, 1],
+        }
     }
 
     #[test]
@@ -256,6 +286,31 @@ mod tests {
             fs::write(&path, &clean).unwrap();
         }
         assert_eq!(cache.get(9).unwrap(), sample());
+    }
+
+    #[test]
+    fn legacy_v1_entries_self_heal_as_misses() {
+        let _g = FAULT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let cache = ResultCache::open(tmpdir("v1heal")).unwrap();
+        // A well-formed entry in the retired BGPCRES1 layout (no config
+        // field), valid checksum included.
+        let mut old = Vec::new();
+        old.extend_from_slice(b"BGPCRES1");
+        old.extend_from_slice(&1u32.to_le_bytes());
+        old.extend_from_slice(&3u128.to_le_bytes());
+        old.extend_from_slice(&2u32.to_le_bytes());
+        old.extend_from_slice(&2u64.to_le_bytes());
+        old.extend_from_slice(&0i32.to_le_bytes());
+        old.extend_from_slice(&1i32.to_le_bytes());
+        let mut h = Fnv1a::default();
+        h.update(&old);
+        old.extend_from_slice(&h.finish().to_le_bytes());
+        fs::write(cache.entry_path(3), &old).unwrap();
+        assert!(cache.get(3).is_none(), "v1 entry must decode as a miss");
+        assert!(!cache.entry_path(3).exists(), "v1 entry is swept on read");
+        // The recomputed result lands cleanly in the new format.
+        cache.put(3, &sample()).unwrap();
+        assert_eq!(cache.get(3).unwrap(), sample());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -96,6 +96,10 @@ struct Shared {
     /// Cancellation token of the job currently on the pool, so shutdown
     /// can reel in an in-flight run instead of waiting it out.
     current_cancel: Mutex<Option<bgpc::CancelToken>>,
+    /// Worker threads the executor's pool actually spawned (0 until the
+    /// executor thread has built it). May differ from the requested
+    /// `cfg.pool_threads` if the pool clamps; benchmarks stamp both.
+    pool_workers: AtomicUsize,
 }
 
 /// A running daemon. Dropping it shuts it down and joins its threads.
@@ -119,6 +123,7 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             addr,
             current_cancel: Mutex::new(None),
+            pool_workers: AtomicUsize::new(0),
             cfg,
         });
 
@@ -148,6 +153,13 @@ impl Daemon {
     /// Peak admission-queue depth (bounded-memory evidence).
     pub fn peak_queue_depth(&self) -> usize {
         self.shared.queue.peak_depth()
+    }
+
+    /// Worker threads the executor's pool actually spawned. Returns 0
+    /// until the executor thread has built its pool (it does so before
+    /// draining any job, so after the first completed job this is final).
+    pub fn pool_workers(&self) -> usize {
+        self.shared.pool_workers.load(Ordering::Relaxed)
     }
 
     /// Requests shutdown and joins both threads. Idempotent.
@@ -297,18 +309,23 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
             );
         }
     };
+    // An empty schedule string delegates the whole config to the
+    // auto-tuning engine at execution time; a named schedule is explicit
+    // and wins over the engine (same contract as the CLI flags).
     let schedule = if req.schedule.is_empty() {
-        Some(bgpc::Schedule::n1_n2())
+        None
     } else {
-        bgpc::Schedule::from_name(&req.schedule)
-    };
-    let Some(schedule) = schedule else {
-        ServeStats::bump(&shared.stats.invalid_jobs);
-        return respond(
-            stream,
-            FrameKind::InvalidJob,
-            format!("unknown schedule {:?}", req.schedule).as_bytes(),
-        );
+        match bgpc::Schedule::from_name(&req.schedule) {
+            Some(s) => Some(s),
+            None => {
+                ServeStats::bump(&shared.stats.invalid_jobs);
+                return respond(
+                    stream,
+                    FrameKind::InvalidJob,
+                    format!("unknown schedule {:?}", req.schedule).as_bytes(),
+                );
+            }
+        }
     };
 
     let fingerprint = csr_fingerprint(&matrix);
@@ -368,15 +385,19 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
 
 fn executor_loop(shared: &Arc<Shared>) {
     let pool = par::Pool::new(shared.cfg.pool_threads.max(1));
+    shared.pool_workers.store(pool.threads(), Ordering::Relaxed);
+    // One engine per daemon: the shipped decision table is parsed once
+    // and shared by every engine-routed (empty-schedule) job.
+    let engine = bgpc::Engine::with_default_table();
     while let Some(job) = shared.queue.pop() {
-        let reply = run_job(shared, &pool, &job);
+        let reply = run_job(shared, &pool, &engine, &job);
         // A send failure means the handler (and its client) went away;
         // the result is simply dropped.
         let _ = job.reply.send(reply);
     }
 }
 
-fn run_job(shared: &Arc<Shared>, pool: &par::Pool, job: &Job) -> JobReply {
+fn run_job(shared: &Arc<Shared>, pool: &par::Pool, engine: &bgpc::Engine, job: &Job) -> JobReply {
     ServeStats::bump(&shared.stats.cache_misses);
     let cancel = bgpc::CancelToken::new();
     *shared.current_cancel.lock().expect("cancel slot poisoned") = Some(cancel.clone());
@@ -386,13 +407,51 @@ fn run_job(shared: &Arc<Shared>, pool: &par::Pool, job: &Job) -> JobReply {
         par::faults::fire("serve.job.panic", 0);
         let g = BipartiteGraph::try_from_matrix_owned(job.matrix.clone())
             .map_err(|e| e.to_string())?;
-        let order = graph::Ordering::Natural.vertex_order_bgpc(&g);
         let opts = bgpc::RunnerOpts {
             deadline: job.deadline,
             cancel: Some(cancel.clone()),
             ..bgpc::RunnerOpts::default()
         };
-        Ok::<_, String>((bgpc::color_bgpc_with_opts(&g, &order, &job.schedule, pool, opts), g))
+        match &job.schedule {
+            // Explicit schedule: color as requested, stamp a schedule
+            // stub as the cached config.
+            Some(schedule) => {
+                let order = graph::Ordering::Natural.vertex_order_bgpc(&g);
+                let r = bgpc::color_bgpc_with_opts(&g, &order, schedule, pool, opts);
+                Ok::<_, String>((r, format!("schedule={}", schedule.name())))
+            }
+            // Engine-routed: featurize, select a full config, apply its
+            // relabeling/width at build time and its schedule/forbidden
+            // choice in the driver, with the online tuner attached. The
+            // coloring is mapped back through the relabel permutation, so
+            // clients (and the cache) always see original vertex ids.
+            None => {
+                let choice = engine.select_bgpc(&g);
+                let cfg = &choice.config;
+                let opts = bgpc::RunnerOpts {
+                    online: Some(bgpc::OnlineTuner::default()),
+                    ..opts
+                };
+                let (pm, perm) = cfg.relabel.apply_columns(&job.matrix);
+                let mut r = match cfg.index_width {
+                    sparse::IndexWidth::U32 => {
+                        let gp = BipartiteGraph::from_matrix(&pm);
+                        let order: Vec<u32> = (0..gp.n_vertices() as u32).collect();
+                        bgpc::engine::color_bgpc_with_config(&gp, &order, cfg, pool, opts)
+                    }
+                    sparse::IndexWidth::U64 => {
+                        let pm = pm.to_index::<u64>();
+                        let gp = BipartiteGraph::from_matrix(&pm);
+                        let order: Vec<u32> = (0..gp.n_vertices() as u32).collect();
+                        bgpc::engine::color_bgpc_with_config(&gp, &order, cfg, pool, opts)
+                    }
+                };
+                if let Some(p) = &perm {
+                    r.colors = sparse::unpermute(&r.colors, p);
+                }
+                Ok((r, format!("{} matched={}", cfg.describe(), choice.matched)))
+            }
+        }
     });
     *shared.current_cancel.lock().expect("cancel slot poisoned") = None;
     match outcome {
@@ -401,7 +460,7 @@ fn run_job(shared: &Arc<Shared>, pool: &par::Pool, job: &Job) -> JobReply {
             JobReply::ServerError(format!("job panicked (contained): {panic}"))
         }
         Ok(Err(graph_err)) => JobReply::GraphError(graph_err),
-        Ok(Ok((result, _g))) => {
+        Ok(Ok((result, config))) => {
             ServeStats::bump(&shared.stats.completed);
             if let Some(reason) = &result.degraded {
                 ServeStats::bump(&shared.stats.degraded);
@@ -425,6 +484,7 @@ fn run_job(shared: &Arc<Shared>, pool: &par::Pool, job: &Job) -> JobReply {
                     job.fingerprint,
                     &CachedColoring {
                         num_colors: result.num_colors as u32,
+                        config,
                         colors: result.colors,
                     },
                 );

@@ -64,10 +64,15 @@ pub enum IndexWidth {
     U64,
 }
 
+/// Largest nonzero count a `u32` row pointer can address — the
+/// [`IndexWidth::auto_for`] cutoff. `bgpc::tuning` re-exports this so the
+/// autotuning engine and the legacy width heuristic share one definition.
+pub const U32_MAX_NNZ: usize = u32::MAX as usize;
+
 impl IndexWidth {
     /// The narrowest width that can address `nnz` nonzeros.
     pub fn auto_for(nnz: usize) -> Self {
-        if nnz <= u32::MAX as usize {
+        if nnz <= U32_MAX_NNZ {
             IndexWidth::U32
         } else {
             IndexWidth::U64

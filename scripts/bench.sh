@@ -24,6 +24,10 @@
 #   --kernel-sweep                # run the report once per kernel side,
 #                                 # writing BENCH_coloring_scalar.json and
 #                                 # BENCH_coloring_simd.json for A/B diffs
+#   --autotune                    # additionally measure the engine-chosen
+#                                 # config per cell and score it against
+#                                 # the sweep's oracle best (see
+#                                 # scripts/fit_engine.sh)
 #
 # Instances are generated from the in-repo synthetic registry with a
 # fixed seed, so consecutive runs time identical work. Every coloring is
@@ -33,7 +37,11 @@ cd "$(dirname "$0")/.."
 
 MODE_FLAG="--quick"
 TRACE_MODE=0
+MODE_CONSUMED=1
 case "${1:-}" in
+  # A trailing axis flag in first position means quick mode was implied
+  # (e.g. `bench.sh --autotune`); leave it for the trailing parser.
+  --kernel | --pin | --kernel-sweep | --autotune) MODE_CONSUMED=0 ;;
   --full) MODE_FLAG="" ;;
   --smoke) MODE_FLAG="--smoke" ;;
   --trace)
@@ -72,7 +80,7 @@ esac
 # Trailing axis flags for the coloring modes, passed through to
 # bench_coloring (the --serve/--check-deep branches exit above and take
 # none).
-if [[ $# -gt 0 ]]; then shift; fi
+if [[ $# -gt 0 && "$MODE_CONSUMED" == 1 ]]; then shift; fi
 KERNEL_FLAGS=()
 KERNEL_SWEEP=0
 while [[ $# -gt 0 ]]; do
@@ -90,9 +98,13 @@ while [[ $# -gt 0 ]]; do
       KERNEL_SWEEP=1
       shift
       ;;
+    --autotune)
+      KERNEL_FLAGS+=("--autotune")
+      shift
+      ;;
     *)
       echo "bench.sh: unknown trailing flag \`$1\` (expected --kernel K, --pin," \
-           "--kernel-sweep)" >&2
+           "--kernel-sweep, --autotune)" >&2
       exit 2
       ;;
   esac

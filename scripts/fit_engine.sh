@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Refits the engine's decision table from a BENCH_coloring.json sweep:
+#
+#   ./scripts/bench.sh                # produce/refresh the sweep
+#   ./scripts/fit_engine.sh           # rewrite the checked-in table
+#   cargo build --offline --release   # table is include_str!'d — rebuild
+#   ./scripts/bench.sh --autotune ... # measure the engine against oracle
+#
+# Flags pass through to the fit_engine binary:
+#   --sweep PATH   sweep report to fit from (default BENCH_coloring.json)
+#   --out PATH     table to write (default
+#                  crates/core/src/engine/default_table.txt)
+#
+# The fitter re-parses its own output before writing, so a bad fit cannot
+# land a table the engine fails to load.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline -p bench (fit_engine)"
+cargo build --release --offline -p bench --bin fit_engine
+./target/release/fit_engine "$@"

@@ -63,6 +63,29 @@ step_begin "check smoke: forced --kernel scalar / --kernel simd sweeps"
 ./target/release/check_smoke --seed "$CHECK_SEED" --cases 60 --kernel simd
 step_end "check-smoke-kernels"
 
+step_begin "check smoke: --autotune engine-selection sweep"
+# The same oracle standard applied to configs the auto-tuning engine
+# picks: selection must be deterministic, the chosen schedule's name
+# must round-trip, and the config (relabel + index width + online
+# tuner) must color validly at 1-4 threads with no degrade.
+./target/release/check_smoke --seed "$CHECK_SEED" --cases 60 --autotune
+step_end "check-smoke-autotune"
+
+step_begin "CLI autotune smoke: engine banner + explicit-flag override"
+# `--autotune` must announce the engine's resolved config, and an
+# explicitly passed flag must beat the engine on that axis (the
+# override contract) — both grepped from the CLI's own output.
+AUTOTUNE_OUT=$(./target/release/bgpc-cli color --dataset coPapersDBLP --scale 0.002 \
+  --threads 2 --autotune)
+echo "$AUTOTUNE_OUT" | grep -q "autotune: schedule=" \
+  || { echo "verify: FAIL — --autotune printed no engine config banner" >&2; exit 1; }
+OVERRIDE_OUT=$(./target/release/bgpc-cli color --dataset coPapersDBLP --scale 0.002 \
+  --threads 2 --autotune --schedule v-v)
+echo "$OVERRIDE_OUT" | grep -q "autotune: schedule=V-V " \
+  || { echo "verify: FAIL — explicit --schedule v-v did not override the engine" >&2; exit 1; }
+echo "-- autotune banner present; explicit --schedule overrides the engine"
+step_end "cli-autotune"
+
 step_begin "bench smoke: bench_coloring --smoke (verifies every coloring)"
 # The smoke run exits nonzero if any schedule produces an invalid
 # coloring; its JSON goes under target/ so it never clobbers the
