@@ -20,6 +20,12 @@
 //! table from. `--autotune` additionally measures the engine-chosen config
 //! per cell (online tuner attached) and records its time ratio against the
 //! oracle best, plus the geometric mean over all cells.
+//!
+//! `--delta` adds the incremental-update axis: batches of 1/10/100/1000
+//! edge mutations against the power-law analogue, timed as
+//! `apply_delta` + dirty-set recolor (seeded from the base coloring)
+//! versus a from-scratch recolor of the mutated graph, for both BGPC and
+//! D2GC. Records land in the report's `delta` section.
 
 use std::time::Instant;
 
@@ -27,8 +33,8 @@ use bench::json::to_string_pretty;
 use bench::to_json_struct;
 use bgpc::verify::{verify_bgpc, verify_d2gc};
 use bgpc::{
-    BitStampSet, Engine, EngineConfig, ForbiddenSet, KernelImpl, OnlineTuner, RunnerOpts,
-    Schedule, StampSet,
+    BitStampSet, CsrDelta, Engine, EngineConfig, ForbiddenSet, KernelImpl, OnlineTuner,
+    RunnerOpts, Schedule, StampSet,
 };
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::{Pool, Sched};
@@ -171,6 +177,47 @@ to_json_struct!(AutotuneRecord {
     verified
 });
 
+/// One `--delta` measurement: a batch of edge mutations against the
+/// power-law analogue, answered two ways — incrementally (apply the delta
+/// and recolor only the dirty set, seeded from the base coloring) and from
+/// scratch on the mutated graph. Both colorings are verified against the
+/// mutated graph.
+struct DeltaRecord {
+    problem: String,
+    dataset: String,
+    threads: usize,
+    /// Edge mutations in the batch (insertions plus deletions; D2GC counts
+    /// undirected edges, each applied in both orientations).
+    batch: usize,
+    /// Dirty vertices the batch produced (the seeded work queue's size).
+    dirty: usize,
+    /// `apply_delta` + seeded dirty-set recolor, minimum over reps, ms.
+    update_ms: f64,
+    /// From-scratch recolor of the mutated graph, minimum over reps, ms.
+    full_ms: f64,
+    /// `full_ms / update_ms` — > 1 means the incremental path wins.
+    speedup: f64,
+    /// Colors of the incremental coloring (bounded by
+    /// `max(full base colors, Δ₂ + 1)`; see `bgpc::incremental`).
+    update_colors: usize,
+    /// Colors of the from-scratch coloring of the mutated graph.
+    full_colors: usize,
+    verified: bool,
+}
+to_json_struct!(DeltaRecord {
+    problem,
+    dataset,
+    threads,
+    batch,
+    dirty,
+    update_ms,
+    full_ms,
+    speedup,
+    update_colors,
+    full_colors,
+    verified
+});
+
 /// Pre-rendered JSON embedded verbatim — used to splice the trace crate's
 /// [`trace::RunSummary::to_json`] output into the report without teaching
 /// the bench JSON layer about its types.
@@ -215,6 +262,8 @@ struct BenchReport {
     /// Geometric mean of the autotune/oracle time ratios (`null` without
     /// `--autotune` or when no cell had an oracle record).
     autotune_geomean: Option<f64>,
+    /// Incremental-update measurements (`--delta`; empty otherwise).
+    delta: Vec<DeltaRecord>,
     /// Structured per-thread summary of the `--trace` run (`null` when
     /// tracing was not requested).
     trace: Option<RawJson>,
@@ -236,6 +285,7 @@ to_json_struct!(BenchReport {
     oracle_best,
     autotune,
     autotune_geomean,
+    delta,
     trace
 });
 
@@ -661,6 +711,201 @@ fn autotune_d2gc<I: CsrIndex>(
     (best_ms, num_colors, rounds, actions)
 }
 
+/// The batch sizes the `--delta` axis sweeps, in touched edges.
+const DELTA_BATCHES: [usize; 4] = [1, 10, 100, 1000];
+
+/// Draws `want` edges absent from `m` (no duplicates) by rejection
+/// sampling; `undirected` restricts draws to `row < col` non-loop pairs
+/// (for symmetric patterns, where the delta is later mirrored). Returns
+/// fewer than `want` edges when the pattern is too dense to find them.
+fn draw_absent(m: &Csr, want: usize, undirected: bool, rng: &mut rng::Pcg32) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(want);
+    let mut attempts = 0usize;
+    while out.len() < want && attempts < 20 * want + 100 {
+        attempts += 1;
+        let r = rng.bounded_u64(m.nrows() as u64) as u32;
+        let c = rng.bounded_u64(m.ncols() as u64) as u32;
+        let (r, c) = if undirected {
+            if r == c {
+                continue;
+            }
+            (r.min(c), r.max(c))
+        } else {
+            (r, c)
+        };
+        if m.contains(r as usize, c) || out.contains(&(r, c)) {
+            continue;
+        }
+        out.push((r, c));
+    }
+    out
+}
+
+/// Samples `want` distinct edges present in `m` (partial Fisher–Yates over
+/// the edge census); `undirected` keeps only the `row < col` orientation.
+fn draw_present(m: &Csr, want: usize, undirected: bool, rng: &mut rng::Pcg32) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 0..m.nrows() {
+        for &c in m.row(i) {
+            if !undirected || (i as u32) < c {
+                edges.push((i as u32, c));
+            }
+        }
+    }
+    let want = want.min(edges.len());
+    for k in 0..want {
+        let j = k + rng.bounded_u64((edges.len() - k) as u64) as usize;
+        edges.swap(k, j);
+    }
+    edges.truncate(want);
+    edges
+}
+
+/// Measures one `--delta` cell: `batch` mutations (half deletions, half
+/// insertions) against the base pattern, timed as the incremental path
+/// (`apply_delta` + dirty-set recolor seeded from the base coloring) and
+/// as a from-scratch recolor of the mutated graph. Minimum over `reps`;
+/// both colorings verified against the mutated graph.
+#[allow(clippy::too_many_arguments)]
+fn delta_record(
+    m: &Csr,
+    dataset: &str,
+    bgpc_problem: bool,
+    batch: usize,
+    pool: &Pool,
+    threads: usize,
+    reps: usize,
+    seed: u64,
+) -> Option<DeltaRecord> {
+    let mut rng = rng::Pcg32::seed_from_u64(seed);
+    let undirected = !bgpc_problem;
+    let deletions = draw_present(m, batch / 2, undirected, &mut rng);
+    let insertions = draw_absent(m, batch - deletions.len(), undirected, &mut rng);
+    if insertions.len() + deletions.len() < batch {
+        eprintln!("  delta {dataset} batch {batch}: pattern too small to draw the batch, skipped");
+        return None;
+    }
+    let delta = CsrDelta::try_new(insertions, deletions).expect("drawn edges form a valid delta");
+    let delta = if bgpc_problem {
+        delta
+    } else {
+        delta.symmetrized().expect("non-loop undirected draws symmetrize")
+    };
+    let applied = bgpc::apply_delta(m, &delta).expect("drawn delta applies to its own base");
+
+    // Base coloring (what a serving layer would have cached) and the
+    // mutated graphs, built once outside the timed loops.
+    let schedule = if bgpc_problem { Schedule::n1_n2() } else { Schedule::v_v_64d() };
+    let (mut update_ms, mut full_ms) = (f64::INFINITY, f64::INFINITY);
+    let (update_colors, full_colors, dirty_len);
+    if bgpc_problem {
+        let g = BipartiteGraph::from_matrix(m);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        let base = bgpc::color_bgpc(&g, &order, &schedule, pool);
+        let g2 = BipartiteGraph::from_matrix(&applied.matrix);
+        let mut colors_inc = 0;
+        let mut colors_full = 0;
+        let mut dirty_n = 0;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let a = bgpc::apply_delta(m, &delta).expect("delta applies");
+            let dirty = a.dirty_bgpc();
+            let r = bgpc::recolor_bgpc_incremental(
+                &g2,
+                &base.colors,
+                dirty,
+                &order,
+                &schedule,
+                pool,
+                RunnerOpts::default(),
+            );
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if let Err(e) = verify_bgpc(&g2, &r.colors) {
+                eprintln!("FATAL: invalid incremental BGPC coloring ({dataset}, batch {batch}): {e}");
+                std::process::exit(1);
+            }
+            if ms < update_ms {
+                update_ms = ms;
+                colors_inc = r.num_colors;
+                dirty_n = dirty.len();
+            }
+            let t = Instant::now();
+            let rf = bgpc::color_bgpc(&g2, &order, &schedule, pool);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if let Err(e) = verify_bgpc(&g2, &rf.colors) {
+                eprintln!("FATAL: invalid full BGPC recolor ({dataset}, batch {batch}): {e}");
+                std::process::exit(1);
+            }
+            if ms < full_ms {
+                full_ms = ms;
+                colors_full = rf.num_colors;
+            }
+        }
+        update_colors = colors_inc;
+        full_colors = colors_full;
+        dirty_len = dirty_n;
+    } else {
+        let g = Graph::from_symmetric_matrix(m);
+        let order = Ordering::Natural.vertex_order_d2(&g);
+        let base = bgpc::d2gc::color_d2gc(&g, &order, &schedule, pool);
+        let g2 = Graph::from_symmetric_matrix(&applied.matrix);
+        let mut colors_inc = 0;
+        let mut colors_full = 0;
+        let mut dirty_n = 0;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let a = bgpc::apply_delta(m, &delta).expect("delta applies");
+            let dirty = a.dirty_d2gc();
+            let r = bgpc::recolor_d2gc_incremental(
+                &g2,
+                &base.colors,
+                &dirty,
+                &order,
+                &schedule,
+                pool,
+                RunnerOpts::default(),
+            );
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if let Err(e) = verify_d2gc(&g2, &r.colors) {
+                eprintln!("FATAL: invalid incremental D2GC coloring ({dataset}, batch {batch}): {e}");
+                std::process::exit(1);
+            }
+            if ms < update_ms {
+                update_ms = ms;
+                colors_inc = r.num_colors;
+                dirty_n = dirty.len();
+            }
+            let t = Instant::now();
+            let rf = bgpc::d2gc::color_d2gc(&g2, &order, &schedule, pool);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if let Err(e) = verify_d2gc(&g2, &rf.colors) {
+                eprintln!("FATAL: invalid full D2GC recolor ({dataset}, batch {batch}): {e}");
+                std::process::exit(1);
+            }
+            if ms < full_ms {
+                full_ms = ms;
+                colors_full = rf.num_colors;
+            }
+        }
+        update_colors = colors_inc;
+        full_colors = colors_full;
+        dirty_len = dirty_n;
+    }
+    Some(DeltaRecord {
+        problem: if bgpc_problem { "BGPC" } else { "D2GC" }.into(),
+        dataset: dataset.into(),
+        threads,
+        batch: delta.len() / if bgpc_problem { 1 } else { 2 },
+        dirty: dirty_len,
+        update_ms,
+        full_ms,
+        speedup: full_ms / update_ms,
+        update_colors,
+        full_colors,
+        verified: true,
+    })
+}
+
 /// Reads the value of `--flag` style options, exiting with the usage code
 /// when the value is missing.
 fn flag_value(args: &[String], i: usize, flag: &str) -> String {
@@ -684,6 +929,7 @@ fn main() {
     let mut only_kernel: Option<KernelImpl> = None;
     let mut pin = false;
     let mut autotune = false;
+    let mut delta_axis = false;
     let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -744,11 +990,15 @@ fn main() {
                 autotune = true;
                 i += 1;
             }
+            "--delta" => {
+                delta_axis = true;
+                i += 1;
+            }
             other => {
                 eprintln!(
                     "unknown flag `{other}` (expected --smoke, --quick, --out PATH, \
                      --trace PATH, --index-width W, --order O, --sched S, --kernel K, \
-                     --pin, --autotune)"
+                     --pin, --autotune, --delta)"
                 );
                 std::process::exit(2);
             }
@@ -1119,6 +1369,51 @@ fn main() {
         );
     }
 
+    // `--delta` measures the incremental-update path against full recolor
+    // on the power-law analogue (coPapersDBLP — heavy-tailed and
+    // structurally symmetric, so it serves both problems) at each swept
+    // batch size. Small batches must win; the crossover batch size is
+    // what EXPERIMENTS.md reports.
+    let mut delta_records: Vec<DeltaRecord> = Vec::new();
+    if delta_axis {
+        let dataset = Dataset::CoPapersDblp;
+        let inst = dataset.build(scale, SEED);
+        for &t in &threads {
+            let pool = mk_pool(t);
+            for (pi, &is_bgpc) in [true, false].iter().enumerate() {
+                for (bi, &batch) in DELTA_BATCHES.iter().enumerate() {
+                    let seed = SEED ^ ((pi as u64) << 32) ^ (bi as u64 + 1);
+                    if let Some(rec) = delta_record(
+                        &inst.matrix,
+                        dataset.name(),
+                        is_bgpc,
+                        batch,
+                        &pool,
+                        t,
+                        reps,
+                        seed,
+                    ) {
+                        eprintln!(
+                            "  delta {} {} {}t batch {} (dirty {}): update {:.3} ms, \
+                             full {:.3} ms ({:.2}x), colors {} vs {}",
+                            rec.problem,
+                            rec.dataset,
+                            rec.threads,
+                            rec.batch,
+                            rec.dirty,
+                            rec.update_ms,
+                            rec.full_ms,
+                            rec.speedup,
+                            rec.update_colors,
+                            rec.full_colors
+                        );
+                        delta_records.push(rec);
+                    }
+                }
+            }
+        }
+    }
+
     // `--trace` runs one instrumented coloring on the first BGPC instance
     // at the highest thread count and exports it two ways: a chrome-trace
     // file for chrome://tracing / Perfetto, and a structured per-thread
@@ -1170,6 +1465,7 @@ fn main() {
         oracle_best,
         autotune: autotune_records,
         autotune_geomean,
+        delta: delta_records,
         trace: trace_section,
     };
     let json = to_string_pretty(&report);

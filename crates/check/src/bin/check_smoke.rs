@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! check_smoke [--seed N] [--cases N] [--deep] [--kernel K] [--autotune]
-//!             [--replay-case SEED]
+//!             [--delta] [--replay-case SEED]
 //! ```
 //!
 //! * `--seed N` — base seed (default 20260806).
@@ -20,13 +20,19 @@
 //! * `--kernel scalar|simd|auto` — pin the oracle sweep's forbidden-set
 //!   kernel axis instead of drawing it per case (`scripts/verify.sh`
 //!   forces both `scalar` and `simd` through the sweep).
+//! * `--delta` — run *only* the incremental-recoloring oracle sweep
+//!   ([`check::delta`]): random mutation batches applied with
+//!   `apply_delta`, recolored from the dirty set, checked against the
+//!   mutated graph and the full-recolor reference. A standalone stage
+//!   so `scripts/verify.sh` can gate it with its own case budget.
 //! * `--autotune` — run *only* the engine-selection oracle sweep
 //!   ([`check::autotune`]): deterministic selection, schedule-name
 //!   round-trips, and engine-chosen configs verifying end-to-end. A
 //!   separate stage so `scripts/verify.sh` can gate it with its own
 //!   case budget without re-running the model explorations.
 //! * `--replay-case SEED` — re-run a single oracle case printed by a
-//!   failure, then exit (an autotune-sweep case with `--autotune`).
+//!   failure, then exit (an autotune-sweep case with `--autotune`, a
+//!   delta-sweep case with `--delta`).
 //!
 //! Exit codes: 0 clean, 1 a check failed, 2 bad usage.
 
@@ -35,7 +41,7 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: check_smoke [--seed N] [--cases N] [--deep] [--kernel scalar|simd|auto] \
-     [--autotune] [--replay-case SEED]";
+     [--autotune] [--delta] [--replay-case SEED]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -47,6 +53,7 @@ struct Args {
     cases: usize,
     deep: bool,
     autotune: bool,
+    delta: bool,
     kernel: Option<bgpc::KernelImpl>,
     replay_case: Option<u64>,
 }
@@ -57,6 +64,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         cases: 200,
         deep: false,
         autotune: false,
+        delta: false,
         kernel: None,
         replay_case: None,
     };
@@ -75,6 +83,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--cases" => args.cases = take("--cases")? as usize,
             "--deep" => args.deep = true,
             "--autotune" => args.autotune = true,
+            "--delta" => args.delta = true,
             "--kernel" => {
                 let v = it.next().unwrap_or_default();
                 args.kernel = Some(bgpc::KernelImpl::from_name(&v).ok_or_else(|| {
@@ -202,10 +211,18 @@ fn main() -> ExitCode {
     if let Some(case_seed) = args.replay_case {
         println!(
             "replaying {} case seed {case_seed}",
-            if args.autotune { "autotune" } else { "oracle" }
+            if args.autotune {
+                "autotune"
+            } else if args.delta {
+                "delta"
+            } else {
+                "oracle"
+            }
         );
         let outcome = if args.autotune {
             check::run_autotune_case_from_seed(case_seed)
+        } else if args.delta {
+            check::run_delta_case_from_seed_with(case_seed, args.kernel)
         } else {
             check::run_case_from_seed_with(case_seed, args.kernel)
         };
@@ -219,6 +236,33 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    if args.delta {
+        let t0 = Instant::now();
+        println!(
+            "check_smoke: seed {} | {} delta cases | kernel {}",
+            args.seed,
+            args.cases,
+            args.kernel.map_or("drawn", |k| k.label()),
+        );
+        println!("incremental-recoloring oracle:");
+        let ok = stage("delta: mutation sweep", args.seed, || {
+            check::run_delta_sweep_with(args.seed, args.cases, args.kernel)
+                .map(|n| format!("{n} mutation cases, zero divergences"))
+                .map_err(|f| {
+                    format!(
+                        "{f}\n       replay: check_smoke --delta --replay-case {}",
+                        f.case_seed
+                    )
+                })
+        });
+        println!(
+            "check_smoke: {} in {:.2?}",
+            if ok { "PASS" } else { "FAIL" },
+            t0.elapsed()
+        );
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     if args.autotune {

@@ -23,6 +23,11 @@
 //!   names that round-trip through `from_name`, and engine-chosen
 //!   configs (relabeling, index width, online tuner) verifying
 //!   end-to-end on the original vertex ids.
+//! * [`delta`] — the incremental-recoloring oracle: random mutation
+//!   batches applied through [`bgpc::apply_delta`], recolored from the
+//!   dirty set, checked for validity on the mutated graph, exact
+//!   structural mutation, bounded color-count regression and the same
+//!   one-thread equivalences as the main oracle.
 //! * [`faultcov`] — proves each registered `par::faults` fail point is
 //!   *caught*: the injected panic fires, the degrade report names the
 //!   right phase, and the repaired coloring verifies.
@@ -33,12 +38,17 @@
 //! replays the offending case.
 
 pub mod autotune;
+pub mod delta;
 pub mod faultcov;
 pub mod models;
 pub mod oracle;
 pub mod vsched;
 
 pub use autotune::{run_autotune_case_from_seed, run_autotune_sweep};
+pub use delta::{
+    run_delta_case_from_seed, run_delta_case_from_seed_with, run_delta_sweep,
+    run_delta_sweep_with,
+};
 pub use oracle::{
     run_case_from_seed, run_case_from_seed_with, run_oracle_sweep, run_oracle_sweep_with,
     OracleFailure,

@@ -80,7 +80,7 @@ pub(crate) fn pick_ordering(d: &mut impl Draw) -> Ordering {
     }
 }
 
-fn pick_balance(d: &mut impl Draw) -> Balance {
+pub(crate) fn pick_balance(d: &mut impl Draw) -> Balance {
     match d.usize_in(0..3) {
         0 => Balance::Unbalanced,
         1 => Balance::B1,
@@ -88,7 +88,7 @@ fn pick_balance(d: &mut impl Draw) -> Balance {
     }
 }
 
-fn pick_sched(d: &mut impl Draw) -> Sched {
+pub(crate) fn pick_sched(d: &mut impl Draw) -> Sched {
     if d.usize_in(0..2) == 0 {
         Sched::Dynamic
     } else {
@@ -99,7 +99,7 @@ fn pick_sched(d: &mut impl Draw) -> Sched {
 /// Draws the forbidden-set kernel axis, or honors a forced `--kernel`
 /// override. The forced path still consumes the draw so a case replays
 /// the same instance and configuration with or without the override.
-fn pick_kernel(d: &mut impl Draw, forced: Option<KernelImpl>) -> KernelImpl {
+pub(crate) fn pick_kernel(d: &mut impl Draw, forced: Option<KernelImpl>) -> KernelImpl {
     let drawn = match d.usize_in(0..3) {
         0 => KernelImpl::Scalar,
         1 => KernelImpl::Simd,

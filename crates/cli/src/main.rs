@@ -6,6 +6,7 @@
 //! bgpc-cli color --mtx matrix.mtx --problem d2gc --order smallest-last
 //! bgpc-cli stats --mtx matrix.mtx
 //! bgpc-cli generate --dataset bone010 --scale 0.01 --output bone.mtx
+//! bgpc-cli update --addr 127.0.0.1:7070 --mtx matrix.mtx --prime --insert 0,9
 //! ```
 
 mod args;
@@ -19,11 +20,13 @@ fn main() {
             "stats" => run::cmd_stats(rest),
             "generate" => run::cmd_generate(rest),
             "serve" => run::cmd_serve(rest),
+            "update" => run::cmd_update(rest),
             "--help" | "-h" | "help" => {
                 println!("{}", args::COLOR_USAGE);
                 println!("\nother commands: stats --mtx FILE | --dataset NAME");
                 println!("                generate --dataset NAME [--scale F] [--seed N] --output FILE");
                 println!("                serve [--addr HOST:PORT] [--addr-file FILE] [--cache-dir DIR]");
+                println!("                update --addr HOST:PORT --mtx FILE [--insert R,C] [--delete R,C]");
                 0
             }
             other => {

@@ -612,6 +612,155 @@ pub fn cmd_serve(flags: &[String]) -> i32 {
     0
 }
 
+/// Usage text for the `update` command.
+pub const UPDATE_USAGE: &str = "\
+usage: bgpc-cli update --addr HOST:PORT
+                       (--mtx FILE | --bin FILE | --dataset NAME [--scale F] [--seed N])
+                       [--insert R,C]... [--delete R,C]... [--schedule NAME]
+                       [--prime] [--no-cache]
+
+Sends the Update verb to a running daemon: the base graph plus a batch of
+edge insertions/deletions. When the base coloring is cached, the daemon
+recolors only the dirty vertices seeded from the cached colors and flags
+the reply as a cache hit; otherwise the mutated graph is colored from
+scratch. --prime submits the base graph first so the reused-entry path is
+exercised. Edge endpoints are 0-based (row = net, column = vertex).";
+
+/// Parses one `R,C` edge flag value.
+fn parse_edge(flag: &str, v: &str) -> Result<(u32, u32), String> {
+    let (r, c) = v
+        .split_once(',')
+        .ok_or_else(|| format!("bad {flag} `{v}` (expected R,C)"))?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u32>()
+            .map_err(|e| format!("bad {flag} `{v}`: {e}"))
+    };
+    Ok((parse(r)?, parse(c)?))
+}
+
+/// `bgpc-cli update …` — mutate a cached coloring on a running daemon.
+pub fn cmd_update(flags: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut input: Option<Input> = None;
+    let mut scale = 0.002f64;
+    let mut seed = 20170814u64;
+    let mut insertions: Vec<(u32, u32)> = Vec::new();
+    let mut deletions: Vec<(u32, u32)> = Vec::new();
+    let mut schedule = String::from("N1-N2");
+    let mut prime = false;
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            flags
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        let mut consumed = 2;
+        let outcome: Result<(), String> = (|| {
+            match flag {
+                "--addr" => addr = Some(value(i)?.clone()),
+                "--mtx" => input = Some(Input::Mtx(value(i)?.clone())),
+                "--bin" => input = Some(Input::Bin(value(i)?.clone())),
+                "--dataset" => {
+                    let name = value(i)?;
+                    let dataset = Dataset::from_name(name)
+                        .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+                    input = Some(Input::Dataset { dataset, scale, seed });
+                }
+                "--scale" => {
+                    scale = value(i)?.parse().map_err(|e| format!("bad --scale: {e}"))?
+                }
+                "--seed" => seed = value(i)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                "--insert" => insertions.push(parse_edge("--insert", value(i)?)?),
+                "--delete" => deletions.push(parse_edge("--delete", value(i)?)?),
+                "--schedule" => schedule = value(i)?.clone(),
+                "--prime" => {
+                    prime = true;
+                    consumed = 1;
+                }
+                "--no-cache" => {
+                    no_cache = true;
+                    consumed = 1;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = outcome {
+            eprintln!("error: {e}\n\n{UPDATE_USAGE}");
+            return EXIT_USAGE;
+        }
+        i += consumed;
+    }
+    // --scale/--seed given after --dataset still apply: rebuild the input.
+    if let Some(Input::Dataset { dataset, .. }) = input {
+        input = Some(Input::Dataset { dataset, scale, seed });
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: update needs --addr HOST:PORT\n\n{UPDATE_USAGE}");
+        return EXIT_USAGE;
+    };
+    let Some(input) = input else {
+        eprintln!("error: update needs a base graph (--mtx/--bin/--dataset)\n\n{UPDATE_USAGE}");
+        return EXIT_USAGE;
+    };
+    let base = match load(&input) {
+        Ok(m) => m,
+        Err(f) => return finish(Err(f)),
+    };
+    let graph_bytes = serve::client::encode_graph(&base);
+    let mut client = serve::ServeClient::new(addr, serve::RetryPolicy::default());
+    if prime {
+        let req = serve::JobRequest {
+            priority: serve::Priority::Normal,
+            deadline_ms: 0,
+            no_cache: false,
+            schedule: schedule.clone(),
+            graph_bytes: graph_bytes.clone(),
+        };
+        match client.submit(&req) {
+            Ok(r) => out!(
+                "primed base graph: {} colors (cache_hit {})",
+                r.num_colors,
+                r.cache_hit
+            ),
+            Err(e) => {
+                eprintln!("error: priming submit failed: {e}");
+                return EXIT_SERVICE;
+            }
+        }
+    }
+    let req = serve::UpdateRequest {
+        priority: serve::Priority::Normal,
+        deadline_ms: 0,
+        no_cache,
+        schedule,
+        insertions,
+        deletions,
+        graph_bytes,
+    };
+    match client.update(&req) {
+        Ok(r) => {
+            out!(
+                "update: {} colors, served from reused cache entry: {}{}",
+                r.num_colors,
+                r.cache_hit,
+                r.degraded
+                    .as_ref()
+                    .map_or(String::new(), |d| format!(" (degraded: {d})"))
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: update failed: {e}");
+            EXIT_SERVICE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

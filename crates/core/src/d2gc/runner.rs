@@ -76,16 +76,44 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
     pool: &Pool,
     opts: RunnerOpts,
 ) -> ColoringResult {
+    let colors = Colors::new(g.n_vertices());
+    let w0 = order.to_vec();
+    run_speculative_d2gc::<F, I>(
+        g,
+        order,
+        colors,
+        w0,
+        g.max_degree() + 64,
+        schedule,
+        pool,
+        opts,
+    )
+}
+
+/// The D2GC speculative loop over an explicit starting state, mirroring
+/// [`crate::runner::run_speculative_bgpc`]: `colors` may be pre-seeded
+/// and `w0` restricted to a dirty subset ([`crate::incremental`]), while
+/// `order` must always cover every vertex (repair + net-phase rebuild).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_speculative_d2gc<F: ForbiddenSet, I: CsrIndex>(
+    g: &Graph<I>,
+    order: &[u32],
+    colors: Colors,
+    w0: Vec<u32>,
+    capacity: usize,
+    schedule: &Schedule,
+    pool: &Pool,
+    opts: RunnerOpts,
+) -> ColoringResult {
     let n = g.n_vertices();
     debug_assert_eq!(order.len(), n);
     let mut scratch: ThreadScratch<ThreadCtx<F, I>> =
-        ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(g.max_degree() + 64));
+        ThreadScratch::new(pool.threads(), |_| ThreadCtx::new(capacity));
     // Per-run state reset, mirroring [`crate::runner`] (see ThreadCtx docs).
     for ctx in scratch.iter_mut() {
         ctx.reset_for_run();
         ctx.set_kernel(schedule.kernel);
     }
-    let colors = Colors::new(n);
     let eager_queue = (!schedule.lazy_queue).then(|| SharedQueue::new(n));
 
     // The online tuner refines a working copy between iterations;
@@ -93,7 +121,7 @@ pub fn color_d2gc_with_set<F: ForbiddenSet, I: CsrIndex>(
     let mut live = schedule.clone();
     let mut tuner_actions = Vec::new();
 
-    let mut w: Vec<u32> = order.to_vec();
+    let mut w: Vec<u32> = w0;
     let mut iterations = Vec::new();
     let mut degraded: Option<DegradeReason> = None;
     let rec = pool.tracer();

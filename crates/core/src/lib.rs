@@ -60,6 +60,7 @@ pub mod dkgc;
 pub mod engine;
 pub mod error;
 pub mod forbidden;
+pub mod incremental;
 pub mod jp;
 pub mod metrics;
 pub mod net;
@@ -82,6 +83,10 @@ pub use engine::{
 };
 pub use error::ColoringError;
 pub use forbidden::{BitStampSet, ForbiddenSet, StampSet};
+pub use incremental::{
+    apply_delta, recolor_bgpc_incremental, recolor_d2gc_incremental, CsrDelta, DeltaApplied,
+    DeltaError,
+};
 pub use metrics::{
     ColoringResult, DegradeReason, FailedPhase, IterationMetrics, TunerAction,
     TunerActionKind,

@@ -131,10 +131,49 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
     opts: RunnerOpts,
 ) -> ColoringResult {
     let n = g.n_vertices();
-    debug_assert_eq!(order.len(), n, "order must cover every vertex");
     let colors = Colors::new(n);
+    let w0 = order.to_vec();
+    run_speculative_bgpc::<F, I>(
+        g,
+        order,
+        colors,
+        w0,
+        g.max_net_size() + 64,
+        schedule,
+        pool,
+        opts,
+    )
+}
+
+/// The speculative color-then-repair loop over an explicit starting
+/// state: a (possibly pre-seeded) color array and an initial work queue.
+///
+/// `color_bgpc_with_set` calls this with an all-[`UNCOLORED`] array and
+/// `w0 == order`; [`crate::incremental`] seeds `colors` from a previous
+/// run and restricts `w0` to the dirty vertices. Either way `order` must
+/// cover every vertex — it is the repair order for degraded runs and the
+/// rebuild set for net-based conflict phases, both of which may need to
+/// requeue vertices outside `w0`.
+///
+/// `capacity` sizes the per-thread forbidden sets; seeded callers must
+/// cover the largest base color in addition to the structural bound
+/// (the sets grow on demand, so this is a first-allocation hint, not a
+/// correctness requirement).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_speculative_bgpc<F: ForbiddenSet, I: CsrIndex>(
+    g: &BipartiteGraph<I>,
+    order: &[u32],
+    colors: Colors,
+    w0: Vec<u32>,
+    capacity: usize,
+    schedule: &Schedule,
+    pool: &Pool,
+    opts: RunnerOpts,
+) -> ColoringResult {
+    let n = g.n_vertices();
+    debug_assert_eq!(order.len(), n, "order must cover every vertex");
     let mut scratch: ThreadScratch<ThreadCtx<F, I>> = ThreadScratch::new(pool.threads(), |_| {
-        ThreadCtx::new(g.max_net_size() + 64)
+        ThreadCtx::new(capacity)
     });
     // Balancer cursors and queues are per-run state: reset defensively so
     // the run is reproducible even if the scratch construction above is
@@ -151,7 +190,7 @@ pub fn color_bgpc_with_set<F: ForbiddenSet, I: CsrIndex>(
     let mut live = schedule.clone();
     let mut tuner_actions = Vec::new();
 
-    let mut w: Vec<u32> = order.to_vec();
+    let mut w: Vec<u32> = w0;
     let mut iterations = Vec::new();
     let mut degraded: Option<DegradeReason> = None;
     let rec = pool.tracer();

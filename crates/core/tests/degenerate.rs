@@ -2,10 +2,13 @@
 //! on the shapes most likely to break boundary arithmetic — an empty
 //! `V_A`, isolated (pin-less) nets and net-less vertices, a single
 //! vertex, a star (one net covering everything), and nets sized exactly
-//! on the 128-color forbidden-set dispatch boundary.
+//! on the 128-color forbidden-set dispatch boundary — plus the
+//! degenerate-*delta* battery for the incremental engine (empty batch,
+//! duplicate edge, delete-nonexistent).
 
+use bgpc::incremental::{apply_delta, recolor_bgpc_incremental, CsrDelta, DeltaError};
 use bgpc::verify::{verify_bgpc, verify_d2gc};
-use bgpc::Schedule;
+use bgpc::{RunnerOpts, Schedule};
 use graph::{BipartiteGraph, Graph, Ordering};
 use par::{Pool, Sched};
 use sparse::Csr;
@@ -116,6 +119,68 @@ fn run_all_d2gc(m: &Csr, threads: usize) -> Vec<usize> {
         }
     }
     out
+}
+
+#[test]
+fn empty_delta_is_a_noop_on_every_degenerate_shape() {
+    // Applying the empty batch must return the identical pattern and an
+    // empty dirty set even on the shapes above — and a seeded recolor
+    // with that empty dirty set must return the base coloring unchanged
+    // in zero iterations on every schedule × chunk scheduler.
+    let shapes = [
+        Csr::from_rows(0, &[]),
+        Csr::from_rows(4, &[vec![], vec![0, 1], vec![]]),
+        Csr::from_rows(1, &[vec![0]]),
+        Csr::from_rows(23, &[(0..23).collect()]),
+    ];
+    let pool = Pool::new(4);
+    for m in &shapes {
+        let applied = apply_delta(m, &CsrDelta::empty()).unwrap();
+        assert_eq!(&applied.matrix, m);
+        assert!(applied.dirty_bgpc().is_empty());
+        assert!(applied.dirty_d2gc().is_empty());
+
+        let g = BipartiteGraph::from_matrix(m);
+        let order = Ordering::Natural.vertex_order_bgpc(&g);
+        for schedule in all_configs() {
+            let base = bgpc::color_bgpc(&g, &order, &schedule, &pool);
+            let r = recolor_bgpc_incremental(
+                &g,
+                &base.colors,
+                applied.dirty_bgpc(),
+                &order,
+                &schedule,
+                &pool,
+                RunnerOpts::default(),
+            );
+            assert_eq!(r.colors, base.colors, "{}", schedule.name());
+            assert_eq!(r.rounds(), 0, "{}", schedule.name());
+        }
+    }
+}
+
+#[test]
+fn degenerate_deltas_report_typed_errors() {
+    let m = Csr::from_rows(4, &[vec![], vec![0, 1], vec![]]);
+    // Duplicate edge in a batch is rejected at construction.
+    assert_eq!(
+        CsrDelta::try_new(vec![(0, 3), (0, 3)], vec![]),
+        Err(DeltaError::DuplicateInsertion { row: 0, col: 3 }),
+    );
+    // Deleting a nonexistent edge is rejected at application — including
+    // from a pin-less net, where the row merge has no base entries.
+    let d = CsrDelta::try_new(vec![], vec![(0, 2)]).unwrap();
+    assert_eq!(
+        apply_delta(&m, &d),
+        Err(DeltaError::EdgeNotPresent { row: 0, col: 2 }),
+    );
+    // Inserting into a pin-less net and deleting the last pin of a net
+    // are both fine and leave a valid pattern.
+    let d = CsrDelta::try_new(vec![(2, 0)], vec![(1, 0), (1, 1)]).unwrap();
+    let applied = apply_delta(&m, &d).unwrap();
+    applied.matrix.validate().unwrap();
+    assert_eq!(applied.matrix.row(1), &[] as &[u32]);
+    assert_eq!(applied.matrix.row(2), &[0]);
 }
 
 #[test]

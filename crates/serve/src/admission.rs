@@ -21,6 +21,20 @@ use std::time::Instant;
 
 use crate::protocol::Priority;
 
+/// Seed for an incremental update job: the cached base coloring plus the
+/// dirty vertices of the applied delta. Present only on jobs admitted
+/// through the `Update` verb when the base graph's coloring was still in
+/// the result cache — the executor then recolors just the dirty set via
+/// [`bgpc::recolor_bgpc_incremental`] instead of running from scratch.
+#[derive(Clone, Debug)]
+pub struct UpdateSeed {
+    /// The cached coloring of the *base* graph (original vertex ids).
+    pub base_colors: Vec<i32>,
+    /// Vertices whose colors must be rebuilt (the delta's touched
+    /// columns); everything else keeps its base color.
+    pub dirty: Vec<u32>,
+}
+
 /// A unit of admitted work, handed from a connection handler to the
 /// executor.
 pub struct Job {
@@ -38,6 +52,8 @@ pub struct Job {
     pub matrix: sparse::Csr,
     /// Content fingerprint of `matrix` (cache key).
     pub fingerprint: u128,
+    /// Incremental-recoloring seed; `None` for ordinary full runs.
+    pub seed: Option<UpdateSeed>,
     /// Where the executor sends the finished response; a dropped receiver
     /// (client went away) makes the send fail harmlessly.
     pub reply: Sender<crate::daemon::JobReply>,
@@ -176,6 +192,7 @@ mod tests {
             schedule: Some(bgpc::Schedule::n1_n2()),
             matrix: sparse::Csr::empty(1, 1),
             fingerprint: 0,
+            seed: None,
             reply: tx,
         }
     }

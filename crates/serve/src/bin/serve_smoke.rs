@@ -13,18 +13,26 @@
 //! answered from the daemon's result cache — the restart half of the
 //! kill -9 round-trip in `scripts/verify.sh` uses this to prove the cache
 //! survived the crash.
+//!
+//! With `--updates N` the run additionally sends `N` `Update` frames —
+//! edge deltas against patterns the job loop just submitted — and
+//! *requires* every one to be served from the reused cache entry
+//! (incremental dirty-set recolor seeded from the cached base coloring,
+//! reported through the result's `cache_hit` flag). Each returned
+//! coloring is verified against the locally mutated graph.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use serve::client::encode_graph;
-use serve::{ClientError, JobRequest, Priority, RetryPolicy, ServeClient};
+use serve::{ClientError, JobRequest, Priority, RetryPolicy, ServeClient, UpdateRequest};
 
 struct Args {
     addr: String,
     jobs: usize,
     seed: u64,
     distinct: usize,
+    updates: usize,
     require_cache_hits: bool,
     shutdown: bool,
 }
@@ -32,7 +40,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: serve_smoke <addr> [--jobs N] [--seed S] [--distinct M] \
-         [--require-cache-hits] [--shutdown]"
+         [--updates N] [--require-cache-hits] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -48,6 +56,7 @@ fn parse_args() -> Args {
         jobs: 12,
         seed: 1,
         distinct: 4,
+        updates: 0,
         require_cache_hits: false,
         shutdown: false,
     };
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
             "--jobs" => args.jobs = val("--jobs") as usize,
             "--seed" => args.seed = val("--seed"),
             "--distinct" => args.distinct = (val("--distinct") as usize).max(1),
+            "--updates" => args.updates = val("--updates") as usize,
             "--require-cache-hits" => args.require_cache_hits = true,
             "--shutdown" => args.shutdown = true,
             _ => usage(),
@@ -139,6 +149,61 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Update phase: edge deltas against patterns the job loop above just
+    // put in the cache. Every reply must come from the reused entry.
+    let mut update_reuses = 0usize;
+    for u in 0..args.updates {
+        let pattern_seed = args.seed + (u % args.distinct.min(args.jobs)) as u64;
+        let matrix = sparse::gen::bipartite_uniform(300, 200, 2400, pattern_seed);
+        // A small deterministic batch: insert the first two absent cells
+        // of row u, delete the row's first stored edge.
+        let row = u % 300;
+        let mut insertions = Vec::new();
+        for c in 0..200u32 {
+            if !matrix.contains(row, c) {
+                insertions.push((row as u32, c));
+                if insertions.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let deletions: Vec<(u32, u32)> =
+            matrix.row(row).first().map(|&c| (row as u32, c)).into_iter().collect();
+        let delta = bgpc::CsrDelta::try_new(insertions.clone(), deletions.clone())
+            .expect("drawn delta is valid");
+        let mutated = bgpc::apply_delta(&matrix, &delta)
+            .expect("delta applies to its own base")
+            .matrix;
+        let req = UpdateRequest {
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            no_cache: false,
+            schedule: "N1-N2".into(),
+            insertions,
+            deletions,
+            graph_bytes: encode_graph(&matrix),
+        };
+        let outcome = match client.update(&req) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("serve_smoke: update {u} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        attempts += outcome.attempts;
+        update_reuses += outcome.cache_hit as usize;
+        if !outcome.cache_hit {
+            eprintln!("serve_smoke: update {u} was not served from the reused cache entry");
+            return ExitCode::FAILURE;
+        }
+        let g = graph::BipartiteGraph::try_from_matrix_owned(mutated)
+            .expect("mutated pattern stays valid");
+        if let Err(msg) = bgpc::verify::verify_bgpc(&g, &outcome.colors) {
+            eprintln!("serve_smoke: update {u} returned an invalid coloring: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if args.shutdown {
         if let Err(e) = client.shutdown() {
             eprintln!("serve_smoke: shutdown failed: {e}");
@@ -157,8 +222,9 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "serve_smoke ok jobs={} cache_hits={cache_hits} degraded={degraded} attempts={attempts}",
-        args.jobs
+        "serve_smoke ok jobs={} cache_hits={cache_hits} degraded={degraded} \
+         updates={} update_reuses={update_reuses} attempts={attempts}",
+        args.jobs, args.updates
     );
     ExitCode::SUCCESS
 }

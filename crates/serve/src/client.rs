@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use crate::protocol::{
     decode_backpressure, read_frame, write_frame, FrameKind, JobRequest, JobResult, ProtoError,
-    DEFAULT_MAX_FRAME,
+    UpdateRequest, DEFAULT_MAX_FRAME,
 };
 use crate::stats::ServeStats;
 
@@ -188,8 +188,8 @@ impl ServeClient {
         }
     }
 
-    fn submit_once(&self, req: &JobRequest) -> Result<JobResult, ClientError> {
-        let (kind, payload) = self.roundtrip(FrameKind::Submit, &req.encode())?;
+    fn request_once(&self, frame: FrameKind, payload: &[u8]) -> Result<JobResult, ClientError> {
+        let (kind, payload) = self.roundtrip(frame, payload)?;
         match kind {
             FrameKind::Result => {
                 JobResult::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
@@ -218,6 +218,19 @@ impl ServeClient {
     /// Submits a job, retrying retryable failures per the policy. Each
     /// attempt uses a fresh connection.
     pub fn submit(&mut self, req: &JobRequest) -> Result<JobOutcome, ClientError> {
+        self.retrying(FrameKind::Submit, &req.encode())
+    }
+
+    /// Sends an incremental update (base graph + edge delta), retrying
+    /// like [`submit`](ServeClient::submit). On a daemon whose cache
+    /// still holds the base graph's coloring, the reply is served from a
+    /// reused entry ([`JobOutcome::cache_hit`] is set) and only the
+    /// delta's dirty vertices are recolored.
+    pub fn update(&mut self, req: &UpdateRequest) -> Result<JobOutcome, ClientError> {
+        self.retrying(FrameKind::Update, &req.encode())
+    }
+
+    fn retrying(&mut self, frame: FrameKind, payload: &[u8]) -> Result<JobOutcome, ClientError> {
         let attempts_budget = self.policy.max_attempts.max(1);
         let mut last: Option<ClientError> = None;
         for attempt in 0..attempts_budget {
@@ -225,7 +238,7 @@ impl ServeClient {
                 let delay = backoff_delay(&self.policy, attempt - 1, &mut self.rng);
                 std::thread::sleep(delay);
             }
-            match self.submit_once(req) {
+            match self.request_once(frame, payload) {
                 Ok(r) => {
                     return Ok(JobOutcome {
                         colors: r.colors,

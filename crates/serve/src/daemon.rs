@@ -30,12 +30,12 @@ use std::time::{Duration, Instant};
 
 use graph::BipartiteGraph;
 
-use crate::admission::{AdmissionQueue, Job, SubmitError};
+use crate::admission::{AdmissionQueue, Job, SubmitError, UpdateSeed};
 use crate::cache::{CachedColoring, ResultCache};
 use crate::fingerprint::csr_fingerprint;
 use crate::protocol::{
     encode_backpressure, read_frame, write_frame, FrameKind, JobRequest, JobResult, ProtoError,
-    DEFAULT_MAX_FRAME,
+    UpdateRequest, DEFAULT_MAX_FRAME,
 };
 use crate::stats::ServeStats;
 
@@ -273,6 +273,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     return;
                 }
             }
+            FrameKind::Update => {
+                if !handle_update(&mut stream, shared, &payload) {
+                    return;
+                }
+            }
             // A client sending response kinds is violating the protocol.
             _ => {
                 ServeStats::bump(&shared.stats.protocol_errors);
@@ -343,13 +348,7 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
         }
     }
 
-    let deadline_ms = if req.deadline_ms != 0 {
-        req.deadline_ms
-    } else {
-        shared.cfg.default_deadline_ms
-    };
-    let deadline = (deadline_ms != 0).then(|| Instant::now() + Duration::from_millis(deadline_ms as u64));
-
+    let deadline = resolve_deadline(shared, req.deadline_ms);
     let (tx, rx): (_, Receiver<JobReply>) = channel();
     let job = Job {
         priority: req.priority,
@@ -358,8 +357,34 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
         schedule,
         matrix,
         fingerprint,
+        seed: None,
         reply: tx,
     };
+    admit_and_reply(stream, shared, job, rx, false)
+}
+
+/// Converts the wire's relative deadline (with the daemon default as
+/// fallback) into an absolute instant at admission time.
+fn resolve_deadline(shared: &Shared, deadline_ms: u32) -> Option<Instant> {
+    let deadline_ms = if deadline_ms != 0 {
+        deadline_ms
+    } else {
+        shared.cfg.default_deadline_ms
+    };
+    (deadline_ms != 0).then(|| Instant::now() + Duration::from_millis(deadline_ms as u64))
+}
+
+/// Admits `job`, waits for the executor's reply and writes the response
+/// frame. `reused` marks a reply whose run was seeded from a reused cache
+/// entry (the incremental update path) — the wire result is flagged as a
+/// cache hit so clients can observe entry reuse.
+fn admit_and_reply(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    job: Job,
+    rx: Receiver<JobReply>,
+    reused: bool,
+) -> bool {
     match shared.queue.try_submit(job) {
         Ok(()) => ServeStats::bump(&shared.stats.submitted),
         Err(SubmitError::Full { depth, capacity }) => {
@@ -375,12 +400,130 @@ fn handle_submit(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
         }
     }
     match rx.recv() {
-        Ok(JobReply::Result(result)) => respond(stream, FrameKind::Result, &result.encode()),
+        Ok(JobReply::Result(mut result)) => {
+            result.cache_hit |= reused;
+            respond(stream, FrameKind::Result, &result.encode())
+        }
         Ok(JobReply::GraphError(msg)) => respond(stream, FrameKind::GraphError, msg.as_bytes()),
         Ok(JobReply::ServerError(msg)) => respond(stream, FrameKind::ServerError, msg.as_bytes()),
         // Executor gone (shutdown race): tell the client to retry later.
         Err(_) => respond(stream, FrameKind::ServerError, b"executor unavailable"),
     }
+}
+
+/// Processes one Update; returns `false` when the connection should drop.
+///
+/// The request carries the **base** graph plus an edge delta. The daemon
+/// fingerprints the base, applies the delta, and picks the cheapest valid
+/// path, in order:
+///
+/// 1. The *mutated* graph's coloring is already cached → answer straight
+///    from the cache (an empty delta against a cached base always lands
+///    here, since the mutated fingerprint equals the base fingerprint).
+/// 2. The *base* coloring is cached → enqueue an incremental job that
+///    recolors only the delta's dirty vertices, seeded from the cached
+///    colors; the reply is flagged `cache_hit` because the entry was
+///    reused. A clean result is stored under the mutated fingerprint, so
+///    a chain of updates keeps hitting.
+/// 3. Nothing cached → a full run on the mutated graph.
+fn handle_update(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    ServeStats::bump(&shared.stats.updates);
+    let req = match UpdateRequest::decode(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            ServeStats::bump(&shared.stats.invalid_jobs);
+            return respond(stream, FrameKind::InvalidJob, e.to_string().as_bytes());
+        }
+    };
+    let base = match sparse::bin_io::read_bin(req.graph_bytes.as_slice()) {
+        Ok(m) => m,
+        Err(e) => {
+            ServeStats::bump(&shared.stats.invalid_jobs);
+            return respond(
+                stream,
+                FrameKind::InvalidJob,
+                format!("graph payload: {e}").as_bytes(),
+            );
+        }
+    };
+    let schedule = if req.schedule.is_empty() {
+        None
+    } else {
+        match bgpc::Schedule::from_name(&req.schedule) {
+            Some(s) => Some(s),
+            None => {
+                ServeStats::bump(&shared.stats.invalid_jobs);
+                return respond(
+                    stream,
+                    FrameKind::InvalidJob,
+                    format!("unknown schedule {:?}", req.schedule).as_bytes(),
+                );
+            }
+        }
+    };
+    // Delta validation is typed end to end: a malformed batch (duplicate
+    // edge, insert-delete overlap, out-of-bounds endpoint, edge already
+    // present / not present) is an InvalidJob, not a panic.
+    let delta = match bgpc::CsrDelta::try_new(req.insertions.clone(), req.deletions.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            ServeStats::bump(&shared.stats.invalid_jobs);
+            return respond(stream, FrameKind::InvalidJob, format!("delta: {e}").as_bytes());
+        }
+    };
+    let base_fp = csr_fingerprint(&base);
+    let applied = match bgpc::apply_delta(&base, &delta) {
+        Ok(a) => a,
+        Err(e) => {
+            ServeStats::bump(&shared.stats.invalid_jobs);
+            return respond(stream, FrameKind::InvalidJob, format!("delta: {e}").as_bytes());
+        }
+    };
+    let dirty = applied.dirty_bgpc().to_vec();
+    let mutated = applied.matrix;
+    let mutated_fp = csr_fingerprint(&mutated);
+
+    let mut seed = None;
+    if !req.no_cache {
+        // Path 1: the mutated graph itself is cached (covers the empty
+        // delta, whose mutated fingerprint equals the base fingerprint).
+        if let Some(hit) = shared.cache.get(mutated_fp) {
+            ServeStats::bump(&shared.stats.cache_hits);
+            ServeStats::bump(&shared.stats.completed);
+            let result = JobResult {
+                degraded: None,
+                cache_hit: true,
+                num_colors: hit.num_colors,
+                colors: hit.colors,
+            };
+            return respond(stream, FrameKind::Result, &result.encode());
+        }
+        // Path 2: the base coloring is cached — reuse the entry as the
+        // incremental seed. The length check guards against a (content-
+        // addressed, hence practically impossible) fingerprint collision
+        // pairing colors with a different-sized graph.
+        if let Some(hit) = shared.cache.get(base_fp) {
+            if hit.colors.len() == mutated.ncols() {
+                ServeStats::bump(&shared.stats.update_reseeds);
+                seed = Some(UpdateSeed { base_colors: hit.colors, dirty });
+            }
+        }
+    }
+
+    let reused = seed.is_some();
+    let deadline = resolve_deadline(shared, req.deadline_ms);
+    let (tx, rx): (_, Receiver<JobReply>) = channel();
+    let job = Job {
+        priority: req.priority,
+        deadline,
+        no_cache: req.no_cache,
+        schedule,
+        matrix: mutated,
+        fingerprint: mutated_fp,
+        seed,
+        reply: tx,
+    };
+    admit_and_reply(stream, shared, job, rx, reused)
 }
 
 fn executor_loop(shared: &Arc<Shared>) {
@@ -412,6 +555,27 @@ fn run_job(shared: &Arc<Shared>, pool: &par::Pool, engine: &bgpc::Engine, job: &
             cancel: Some(cancel.clone()),
             ..bgpc::RunnerOpts::default()
         };
+        // Incremental update: recolor only the dirty vertices, seeded
+        // from the cached base coloring. The engine's relabel/width
+        // machinery is bypassed — dirty sets are small, so the run is
+        // dominated by the seeding scan, not the coloring itself.
+        if let Some(seed) = &job.seed {
+            let schedule = job
+                .schedule
+                .clone()
+                .unwrap_or_else(bgpc::Schedule::n1_n2);
+            let order = graph::Ordering::Natural.vertex_order_bgpc(&g);
+            let r = bgpc::recolor_bgpc_incremental(
+                &g,
+                &seed.base_colors,
+                &seed.dirty,
+                &order,
+                &schedule,
+                pool,
+                opts,
+            );
+            return Ok::<_, String>((r, format!("update schedule={}", schedule.name())));
+        }
         match &job.schedule {
             // Explicit schedule: color as requested, stamp a schedule
             // stub as the cached config.

@@ -32,6 +32,14 @@
 //!   with write-temp-then-rename discipline; every entry carries a
 //!   checksum trailer so a crash or bit flip yields a recomputation, not
 //!   a wrong answer.
+//! * **Incremental updates** ([`protocol::UpdateRequest`]): the `Update`
+//!   verb ships the base graph plus an edge delta. When the base
+//!   coloring is still cached, the daemon applies the delta with
+//!   [`bgpc::apply_delta`] and recolors *only* the dirty vertices via
+//!   [`bgpc::recolor_bgpc_incremental`], seeded from the cached colors —
+//!   the reply is flagged as a cache hit and a clean result is stored
+//!   under the mutated graph's fingerprint so update chains keep
+//!   hitting. On a miss the mutated graph is colored from scratch.
 //! * **Wire protocol** ([`protocol`]): length-prefixed frames with a magic,
 //!   a kind byte and a capped length prefix — adversarial input (oversized
 //!   prefixes, garbage, half-closed and slow-loris connections) produces
@@ -53,10 +61,10 @@ pub mod fingerprint;
 pub mod protocol;
 pub mod stats;
 
-pub use admission::{AdmissionQueue, Job, SubmitError};
+pub use admission::{AdmissionQueue, Job, SubmitError, UpdateSeed};
 pub use cache::ResultCache;
 pub use client::{ClientError, JobOutcome, RetryPolicy, ServeClient};
 pub use daemon::{Daemon, ServeConfig};
 pub use fingerprint::csr_fingerprint;
-pub use protocol::{FrameKind, JobRequest, JobResult, Priority, ProtoError};
+pub use protocol::{FrameKind, JobRequest, JobResult, Priority, ProtoError, UpdateRequest};
 pub use stats::ServeStats;

@@ -49,6 +49,12 @@ pub enum FrameKind {
     Stats = 0x03,
     /// Client → daemon: graceful shutdown request (empty payload).
     Shutdown = 0x04,
+    /// Client → daemon: an incremental update of a previously submitted
+    /// graph (payload: [`UpdateRequest`] — base graph bytes plus an edge
+    /// delta). Answered with [`FrameKind::Result`]; when the base graph's
+    /// coloring is still cached, the daemon recolors only the delta's
+    /// dirty vertices and marks the reply `cache_hit`.
+    Update = 0x05,
     /// Daemon → client: a finished coloring (payload: [`JobResult`]).
     Result = 0x81,
     /// Daemon → client: the admission queue is full; retry later
@@ -81,6 +87,7 @@ impl FrameKind {
             0x02 => FrameKind::Ping,
             0x03 => FrameKind::Stats,
             0x04 => FrameKind::Shutdown,
+            0x05 => FrameKind::Update,
             0x81 => FrameKind::Result,
             0x82 => FrameKind::Backpressure,
             0x83 => FrameKind::InvalidJob,
@@ -308,6 +315,122 @@ impl JobRequest {
     }
 }
 
+/// A decoded Update payload: a [`JobRequest`]-shaped envelope carrying
+/// the **base** graph plus an edge delta against it.
+///
+/// The daemon fingerprints the base graph, looks its coloring up in the
+/// result cache, applies the delta with [`bgpc::apply_delta`] and — on a
+/// hit — recolors only the delta's dirty vertices via
+/// [`bgpc::recolor_bgpc_incremental`], seeding from the cached colors.
+/// On a miss the mutated graph is colored from scratch. Either way the
+/// reply is an ordinary [`FrameKind::Result`] frame for the *mutated*
+/// graph.
+#[derive(Clone, Debug)]
+pub struct UpdateRequest {
+    /// Admission lane.
+    pub priority: Priority,
+    /// Milliseconds until the deadline, from admission; `0` disables.
+    pub deadline_ms: u32,
+    /// Skip the result cache entirely (no base lookup, no store).
+    pub no_cache: bool,
+    /// Schedule name; empty selects the daemon's update default.
+    pub schedule: String,
+    /// Edge insertions `(row, col)` — must be absent from the base.
+    pub insertions: Vec<(u32, u32)>,
+    /// Edge deletions `(row, col)` — must be present in the base.
+    pub deletions: Vec<(u32, u32)>,
+    /// The **base** pattern in `sparse::bin_io` format (checksummed).
+    pub graph_bytes: Vec<u8>,
+}
+
+impl UpdateRequest {
+    /// Encodes into an Update payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            16 + self.schedule.len()
+                + 8 * (self.insertions.len() + self.deletions.len())
+                + self.graph_bytes.len(),
+        );
+        out.push(self.priority as u8);
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.push(self.no_cache as u8);
+        let name = self.schedule.as_bytes();
+        out.push(name.len().min(255) as u8);
+        out.extend_from_slice(&name[..name.len().min(255)]);
+        out.extend_from_slice(&(self.insertions.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.deletions.len() as u32).to_le_bytes());
+        for &(r, c) in self.insertions.iter().chain(&self.deletions) {
+            out.extend_from_slice(&r.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.graph_bytes);
+        out
+    }
+
+    /// Decodes an Update payload envelope.
+    pub fn decode(payload: &[u8]) -> Result<UpdateRequest, ProtoError> {
+        if payload.len() < 7 {
+            return Err(ProtoError::Malformed(format!(
+                "update payload too short: {} bytes",
+                payload.len()
+            )));
+        }
+        let priority = Priority::from_u8(payload[0])
+            .ok_or_else(|| ProtoError::Malformed(format!("bad priority byte {}", payload[0])))?;
+        let deadline_ms = u32::from_le_bytes(payload[1..5].try_into().expect("4-byte slice"));
+        let no_cache = match payload[5] {
+            0 => false,
+            1 => true,
+            b => return Err(ProtoError::Malformed(format!("bad no_cache byte {b}"))),
+        };
+        let name_len = payload[6] as usize;
+        if payload.len() < 7 + name_len + 8 {
+            return Err(ProtoError::Malformed("update envelope truncated".into()));
+        }
+        let schedule = String::from_utf8(payload[7..7 + name_len].to_vec())
+            .map_err(|_| ProtoError::Malformed("schedule name is not UTF-8".into()))?;
+        let mut off = 7 + name_len;
+        let n_ins =
+            u32::from_le_bytes(payload[off..off + 4].try_into().expect("4-byte slice")) as usize;
+        let n_del =
+            u32::from_le_bytes(payload[off + 4..off + 8].try_into().expect("4-byte slice"))
+                as usize;
+        off += 8;
+        let pairs = n_ins
+            .checked_add(n_del)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| ProtoError::Malformed("delta edge count overflows".into()))?;
+        if payload.len() < off + pairs {
+            return Err(ProtoError::Malformed("delta edge list truncated".into()));
+        }
+        let read_pairs = |count: usize, off: &mut usize| -> Vec<(u32, u32)> {
+            (0..count)
+                .map(|_| {
+                    let r = u32::from_le_bytes(
+                        payload[*off..*off + 4].try_into().expect("4-byte slice"),
+                    );
+                    let c = u32::from_le_bytes(
+                        payload[*off + 4..*off + 8].try_into().expect("4-byte slice"),
+                    );
+                    *off += 8;
+                    (r, c)
+                })
+                .collect()
+        };
+        let insertions = read_pairs(n_ins, &mut off);
+        let deletions = read_pairs(n_del, &mut off);
+        Ok(UpdateRequest {
+            priority,
+            deadline_ms,
+            no_cache,
+            schedule,
+            insertions,
+            deletions,
+            graph_bytes: payload[off..].to_vec(),
+        })
+    }
+}
+
 /// A decoded Result payload.
 #[derive(Clone, Debug)]
 pub struct JobResult {
@@ -511,6 +634,57 @@ mod tests {
         assert!(JobRequest::decode(&[9, 0, 0, 0, 0, 0, 0]).is_err()); // bad priority
         assert!(JobRequest::decode(&[0, 0, 0, 0, 0, 7, 0]).is_err()); // bad no_cache
         assert!(JobRequest::decode(&[0, 0, 0, 0, 0, 0, 200]).is_err()); // name truncated
+    }
+
+    #[test]
+    fn update_request_roundtrip() {
+        let req = UpdateRequest {
+            priority: Priority::Normal,
+            deadline_ms: 250,
+            no_cache: false,
+            schedule: "V-N1".into(),
+            insertions: vec![(0, 7), (3, 2)],
+            deletions: vec![(1, 1)],
+            graph_bytes: vec![9, 8, 7],
+        };
+        let back = UpdateRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.priority, Priority::Normal);
+        assert_eq!(back.deadline_ms, 250);
+        assert!(!back.no_cache);
+        assert_eq!(back.schedule, "V-N1");
+        assert_eq!(back.insertions, vec![(0, 7), (3, 2)]);
+        assert_eq!(back.deletions, vec![(1, 1)]);
+        assert_eq!(back.graph_bytes, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn update_request_rejects_garbage() {
+        assert!(UpdateRequest::decode(b"").is_err());
+        assert!(UpdateRequest::decode(&[9, 0, 0, 0, 0, 0, 0]).is_err()); // bad priority
+        assert!(UpdateRequest::decode(&[0, 0, 0, 0, 0, 0, 0]).is_err()); // counts missing
+        // Declared edge counts larger than the payload.
+        let mut enc = UpdateRequest {
+            priority: Priority::Low,
+            deadline_ms: 0,
+            no_cache: true,
+            schedule: String::new(),
+            insertions: vec![(1, 2)],
+            deletions: vec![],
+            graph_bytes: vec![],
+        }
+        .encode();
+        enc.truncate(enc.len() - 4);
+        assert!(UpdateRequest::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn update_frame_kind_roundtrips() {
+        assert_eq!(FrameKind::from_u8(0x05), Some(FrameKind::Update));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Update, b"u", 0).unwrap();
+        let (kind, payload) = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, FrameKind::Update);
+        assert_eq!(payload, b"u");
     }
 
     #[test]

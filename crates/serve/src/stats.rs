@@ -20,6 +20,11 @@ pub struct ServeStats {
     pub deadline_miss: AtomicU64,
     /// Jobs answered from the result cache.
     pub cache_hits: AtomicU64,
+    /// Update requests received (the `Update` verb).
+    pub updates: AtomicU64,
+    /// Updates recolored incrementally from a reused cache entry (as
+    /// opposed to falling back to a full run on a cache miss).
+    pub update_reseeds: AtomicU64,
     /// Jobs that had to compute (cache miss or cache bypassed).
     pub cache_misses: AtomicU64,
     /// Jobs rejected with `Backpressure` because the queue was full.
@@ -58,6 +63,8 @@ impl ServeStats {
             ("degraded", g(&self.degraded)),
             ("deadline_miss", g(&self.deadline_miss)),
             ("cache_hits", g(&self.cache_hits)),
+            ("updates", g(&self.updates)),
+            ("update_reseeds", g(&self.update_reseeds)),
             ("cache_misses", g(&self.cache_misses)),
             ("shed", g(&self.shed)),
             ("protocol_errors", g(&self.protocol_errors)),

@@ -1,0 +1,166 @@
+//! End-to-end tests of the `Update` verb: a live daemon, a submitted base
+//! graph, and edge deltas against it. The daemon must serve updates from
+//! the reused cache entry (incremental recolor of the dirty set), fall
+//! back to a full run when nothing is cached, answer the empty delta
+//! straight from the cache, and type malformed deltas as `InvalidJob`.
+//!
+//! No fail points are armed, so these tests run in parallel; each starts
+//! its own daemon on an ephemeral port with its own cache directory.
+
+use serve::client::encode_graph;
+use serve::protocol::UpdateRequest;
+use serve::{Daemon, JobRequest, Priority, RetryPolicy, ServeClient, ServeConfig};
+
+fn start(tag: &str) -> Daemon {
+    let dir = std::env::temp_dir().join(format!("serve-upd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        pool_threads: 2,
+        cache_dir: dir,
+        ..ServeConfig::default()
+    })
+    .expect("daemon start")
+}
+
+fn client(d: &Daemon) -> ServeClient {
+    ServeClient::new(
+        d.local_addr().to_string(),
+        RetryPolicy { max_attempts: 3, ..RetryPolicy::default() },
+    )
+}
+
+fn submit_req(m: &sparse::Csr) -> JobRequest {
+    JobRequest {
+        priority: Priority::Normal,
+        deadline_ms: 0,
+        no_cache: false,
+        schedule: "N1-N2".into(),
+        graph_bytes: encode_graph(m),
+    }
+}
+
+fn update_req(
+    m: &sparse::Csr,
+    insertions: Vec<(u32, u32)>,
+    deletions: Vec<(u32, u32)>,
+) -> UpdateRequest {
+    UpdateRequest {
+        priority: Priority::Normal,
+        deadline_ms: 0,
+        no_cache: false,
+        schedule: "N1-N2".into(),
+        insertions,
+        deletions,
+        graph_bytes: encode_graph(m),
+    }
+}
+
+/// Verifies `colors` against the mutated graph built locally.
+fn assert_valid_on(m: sparse::Csr, colors: &[i32]) {
+    let g = graph::BipartiteGraph::try_from_matrix_owned(m).expect("valid pattern");
+    bgpc::verify::verify_bgpc(&g, colors).expect("coloring must be valid on the mutated graph");
+}
+
+#[test]
+fn update_is_served_from_the_reused_cache_entry() {
+    let d = start("reuse");
+    let mut c = client(&d);
+    let m = sparse::gen::bipartite_uniform(40, 30, 300, 7);
+
+    // Seed the cache with the base graph's coloring.
+    let base = c.submit(&submit_req(&m)).expect("base submit");
+    assert!(!base.cache_hit, "first submit computes");
+
+    // A small mutation batch: the daemon must reuse the cached entry.
+    let delta = bgpc::CsrDelta::try_new(vec![(0, 29), (3, 17)], vec![]).expect("valid delta");
+    let applied = bgpc::apply_delta(&m, &delta).expect("applies");
+    let out = c
+        .update(&update_req(&m, delta.insertions().to_vec(), delta.deletions().to_vec()))
+        .expect("update");
+    assert!(out.cache_hit, "update must be served from the reused entry");
+    assert!(out.degraded.is_none());
+    assert_valid_on(applied.matrix.clone(), &out.colors);
+
+    // The daemon's counters show the reseed.
+    let stats = c.stats().expect("stats");
+    let get = |k: &str| stats.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap_or(0);
+    assert_eq!(get("updates"), 1);
+    assert_eq!(get("update_reseeds"), 1);
+
+    // A clean update result is stored under the mutated fingerprint, so
+    // submitting the mutated graph directly now hits.
+    let direct = c.submit(&submit_req(&applied.matrix)).expect("mutated submit");
+    assert!(direct.cache_hit, "update chains must keep hitting the cache");
+}
+
+#[test]
+fn empty_delta_answers_straight_from_the_cache() {
+    let d = start("empty");
+    let mut c = client(&d);
+    let m = sparse::gen::bipartite_uniform(25, 20, 150, 3);
+    let base = c.submit(&submit_req(&m)).expect("base submit");
+
+    let out = c.update(&update_req(&m, vec![], vec![])).expect("empty update");
+    assert!(out.cache_hit, "empty delta must not recompute");
+    assert_eq!(out.colors, base.colors, "identical graph, identical cached coloring");
+}
+
+#[test]
+fn uncached_base_falls_back_to_a_full_run() {
+    let d = start("miss");
+    let mut c = client(&d);
+    let m = sparse::gen::bipartite_uniform(30, 25, 200, 9);
+    // No submit first: the base is not in the cache.
+    let delta = bgpc::CsrDelta::try_new(vec![(1, 3)], vec![]).expect("valid delta");
+    let applied = bgpc::apply_delta(&m, &delta).expect("applies");
+    let out = c.update(&update_req(&m, vec![(1, 3)], vec![])).expect("update");
+    assert!(!out.cache_hit, "nothing cached: the run is from scratch");
+    assert_valid_on(applied.matrix, &out.colors);
+}
+
+#[test]
+fn malformed_deltas_are_typed_invalid_jobs() {
+    let d = start("invalid");
+    let mut c = client(&d);
+    let m = sparse::gen::bipartite_uniform(10, 10, 40, 1);
+    c.submit(&submit_req(&m)).expect("base submit");
+
+    // Duplicate insertion, out-of-bounds endpoint, deleting an absent
+    // edge: each must come back as a terminal InvalidJob, and the daemon
+    // must keep serving afterwards.
+    type Edges = Vec<(u32, u32)>;
+    let cases: Vec<(Edges, Edges)> = vec![
+        (vec![(0, 1), (0, 1)], vec![]),
+        (vec![(999, 0)], vec![]),
+        (vec![], vec![(0, u32::MAX)]),
+    ];
+    for (ins, del) in cases {
+        let err = c.update(&update_req(&m, ins.clone(), del.clone())).unwrap_err();
+        assert!(
+            matches!(err, serve::ClientError::InvalidJob(_)),
+            "({ins:?}, {del:?}) must be InvalidJob, got {err:?}"
+        );
+    }
+    c.ping().expect("daemon survives malformed deltas");
+}
+
+#[test]
+fn no_cache_update_skips_lookup_and_store() {
+    let d = start("nocache");
+    let mut c = client(&d);
+    let m = sparse::gen::bipartite_uniform(20, 15, 100, 5);
+    c.submit(&submit_req(&m)).expect("base submit");
+
+    let mut req = update_req(&m, vec![(0, 14)], vec![]);
+    req.no_cache = true;
+    let out = c.update(&req).expect("no-cache update");
+    assert!(!out.cache_hit, "no_cache must bypass the reuse path");
+    let applied =
+        bgpc::apply_delta(&m, &bgpc::CsrDelta::try_new(vec![(0, 14)], vec![]).unwrap()).unwrap();
+    assert_valid_on(applied.matrix.clone(), &out.colors);
+
+    // And it must not have stored the mutated result either.
+    let direct = c.submit(&submit_req(&applied.matrix)).expect("mutated submit");
+    assert!(!direct.cache_hit, "no_cache update must not fill the cache");
+}

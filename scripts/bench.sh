@@ -28,6 +28,10 @@
 #                                 # config per cell and score it against
 #                                 # the sweep's oracle best (see
 #                                 # scripts/fit_engine.sh)
+#   --delta                       # additionally measure incremental
+#                                 # update batches (apply_delta + dirty-set
+#                                 # recolor) against full recolor on the
+#                                 # power-law analogue
 #
 # Instances are generated from the in-repo synthetic registry with a
 # fixed seed, so consecutive runs time identical work. Every coloring is
@@ -41,7 +45,7 @@ MODE_CONSUMED=1
 case "${1:-}" in
   # A trailing axis flag in first position means quick mode was implied
   # (e.g. `bench.sh --autotune`); leave it for the trailing parser.
-  --kernel | --pin | --kernel-sweep | --autotune) MODE_CONSUMED=0 ;;
+  --kernel | --pin | --kernel-sweep | --autotune | --delta) MODE_CONSUMED=0 ;;
   --full) MODE_FLAG="" ;;
   --smoke) MODE_FLAG="--smoke" ;;
   --trace)
@@ -102,9 +106,13 @@ while [[ $# -gt 0 ]]; do
       KERNEL_FLAGS+=("--autotune")
       shift
       ;;
+    --delta)
+      KERNEL_FLAGS+=("--delta")
+      shift
+      ;;
     *)
       echo "bench.sh: unknown trailing flag \`$1\` (expected --kernel K, --pin," \
-           "--kernel-sweep, --autotune)" >&2
+           "--kernel-sweep, --autotune, --delta)" >&2
       exit 2
       ;;
   esac

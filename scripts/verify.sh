@@ -63,6 +63,16 @@ step_begin "check smoke: forced --kernel scalar / --kernel simd sweeps"
 ./target/release/check_smoke --seed "$CHECK_SEED" --cases 60 --kernel simd
 step_end "check-smoke-kernels"
 
+step_begin "check smoke: --delta incremental-recoloring differential oracle"
+# Randomized mutation batches against randomized base instances, for both
+# problems: apply_delta exactness (inserted edges present, deleted absent,
+# everything else untouched), dirty-set recoloring verified on the mutated
+# graph with no base-vertex degradation, the documented quality bound for
+# unbalanced schedules, empty-delta identity, and the one-thread battery
+# (determinism, forbidden-set/width/kernel equivalence).
+./target/release/check_smoke --seed "$CHECK_SEED" --cases 120 --delta
+step_end "check-smoke-delta"
+
 step_begin "check smoke: --autotune engine-selection sweep"
 # The same oracle standard applied to configs the auto-tuning engine
 # picks: selection must be deterministic, the chosen schedule's name
@@ -168,15 +178,20 @@ serve_start() {
 }
 
 serve_start
-./target/release/serve_smoke "$(cat "$SERVE_TMP/addr")" --jobs 12 --seed 1
+# --updates sends edge deltas against just-submitted patterns and requires
+# each to be served from the reused cache entry (incremental dirty-set
+# recolor seeded from the cached base coloring).
+./target/release/serve_smoke "$(cat "$SERVE_TMP/addr")" --jobs 12 --seed 1 --updates 3
 echo "-- kill -9 the daemon (crash-consistency check)"
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 serve_start
-# Same seed ⇒ same fingerprints ⇒ the SIGKILLed store must serve hits.
+# Same seed ⇒ same fingerprints ⇒ the SIGKILLed store must serve hits;
+# the repeated updates now hit the mutated-fingerprint entries stored by
+# the first run's update phase.
 ./target/release/serve_smoke "$(cat "$SERVE_TMP/addr")" --jobs 12 --seed 1 \
-  --require-cache-hits --shutdown
+  --updates 3 --require-cache-hits --shutdown
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 trap - EXIT
