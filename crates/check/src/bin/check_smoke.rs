@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! check_smoke [--seed N] [--cases N] [--deep] [--kernel K] [--autotune]
-//!             [--delta] [--replay-case SEED]
+//!             [--delta] [--dist] [--replay-case SEED]
 //! ```
 //!
 //! * `--seed N` — base seed (default 20260806).
@@ -25,6 +25,11 @@
 //!   `apply_delta`, recolored from the dirty set, checked against the
 //!   mutated graph and the full-recolor reference. A standalone stage
 //!   so `scripts/verify.sh` can gate it with its own case budget.
+//! * `--dist` — run *only* the sharded-coloring oracle sweep
+//!   ([`check::sharded`]): shard-count × partitioner cases driven
+//!   through the multi-process coordinator over loopback worker
+//!   daemons, checked against the single-node baseline. A standalone
+//!   stage so `scripts/verify.sh` can gate it with its own case budget.
 //! * `--autotune` — run *only* the engine-selection oracle sweep
 //!   ([`check::autotune`]): deterministic selection, schedule-name
 //!   round-trips, and engine-chosen configs verifying end-to-end. A
@@ -32,7 +37,7 @@
 //!   case budget without re-running the model explorations.
 //! * `--replay-case SEED` — re-run a single oracle case printed by a
 //!   failure, then exit (an autotune-sweep case with `--autotune`, a
-//!   delta-sweep case with `--delta`).
+//!   delta-sweep case with `--delta`, a sharded case with `--dist`).
 //!
 //! Exit codes: 0 clean, 1 a check failed, 2 bad usage.
 
@@ -41,7 +46,7 @@ use std::time::Instant;
 
 const USAGE: &str =
     "usage: check_smoke [--seed N] [--cases N] [--deep] [--kernel scalar|simd|auto] \
-     [--autotune] [--delta] [--replay-case SEED]";
+     [--autotune] [--delta] [--dist] [--replay-case SEED]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -54,6 +59,7 @@ struct Args {
     deep: bool,
     autotune: bool,
     delta: bool,
+    dist: bool,
     kernel: Option<bgpc::KernelImpl>,
     replay_case: Option<u64>,
 }
@@ -65,6 +71,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         deep: false,
         autotune: false,
         delta: false,
+        dist: false,
         kernel: None,
         replay_case: None,
     };
@@ -84,6 +91,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--deep" => args.deep = true,
             "--autotune" => args.autotune = true,
             "--delta" => args.delta = true,
+            "--dist" => args.dist = true,
             "--kernel" => {
                 let v = it.next().unwrap_or_default();
                 args.kernel = Some(bgpc::KernelImpl::from_name(&v).ok_or_else(|| {
@@ -215,6 +223,8 @@ fn main() -> ExitCode {
                 "autotune"
             } else if args.delta {
                 "delta"
+            } else if args.dist {
+                "sharded"
             } else {
                 "oracle"
             }
@@ -223,6 +233,8 @@ fn main() -> ExitCode {
             check::run_autotune_case_from_seed(case_seed)
         } else if args.delta {
             check::run_delta_case_from_seed_with(case_seed, args.kernel)
+        } else if args.dist {
+            check::run_sharded_case_from_seed(case_seed)
         } else {
             check::run_case_from_seed_with(case_seed, args.kernel)
         };
@@ -253,6 +265,28 @@ fn main() -> ExitCode {
                 .map_err(|f| {
                     format!(
                         "{f}\n       replay: check_smoke --delta --replay-case {}",
+                        f.case_seed
+                    )
+                })
+        });
+        println!(
+            "check_smoke: {} in {:.2?}",
+            if ok { "PASS" } else { "FAIL" },
+            t0.elapsed()
+        );
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if args.dist {
+        let t0 = Instant::now();
+        println!("check_smoke: seed {} | {} sharded cases", args.seed, args.cases);
+        println!("sharded-coloring oracle:");
+        let ok = stage("dist: sharded sweep", args.seed, || {
+            check::run_sharded_sweep(args.seed, args.cases)
+                .map(|n| format!("{n} sharded cases, zero divergences"))
+                .map_err(|f| {
+                    format!(
+                        "{f}\n       replay: check_smoke --dist --replay-case {}",
                         f.case_seed
                     )
                 })

@@ -31,6 +31,11 @@
 //! * [`faultcov`] — proves each registered `par::faults` fail point is
 //!   *caught*: the injected panic fires, the degrade report names the
 //!   right phase, and the repaired coloring verifies.
+//! * [`sharded`] — the multi-process oracle: shard-count × partitioner
+//!   sweeps through the [`dist::Coordinator`] over real `serve` worker
+//!   daemons on loopback TCP, checked for validity in original ids,
+//!   clean (non-degraded) runs, bounded color counts and exact
+//!   superstep accounting against the in-process single-node baseline.
 //!
 //! The `check_smoke` binary wires all of it into a seeded, time-boxed
 //! tier-1 gate (`scripts/verify.sh`); `scripts/bench.sh --check-deep`
@@ -42,6 +47,7 @@ pub mod delta;
 pub mod faultcov;
 pub mod models;
 pub mod oracle;
+pub mod sharded;
 pub mod vsched;
 
 pub use autotune::{run_autotune_case_from_seed, run_autotune_sweep};
@@ -53,4 +59,5 @@ pub use oracle::{
     run_case_from_seed, run_case_from_seed_with, run_oracle_sweep, run_oracle_sweep_with,
     OracleFailure,
 };
+pub use sharded::{run_sharded_case_from_seed, run_sharded_sweep};
 pub use vsched::{CheckFailure, Coverage, ThreadProgram};

@@ -7,6 +7,7 @@
 //! bgpc-cli stats --mtx matrix.mtx
 //! bgpc-cli generate --dataset bone010 --scale 0.01 --output bone.mtx
 //! bgpc-cli update --addr 127.0.0.1:7070 --mtx matrix.mtx --prime --insert 0,9
+//! bgpc-cli shard --dataset coPapersDBLP --shards 4 --partition cyclic
 //! ```
 
 mod args;
@@ -21,12 +22,14 @@ fn main() {
             "generate" => run::cmd_generate(rest),
             "serve" => run::cmd_serve(rest),
             "update" => run::cmd_update(rest),
+            "shard" => run::cmd_shard(rest),
             "--help" | "-h" | "help" => {
                 println!("{}", args::COLOR_USAGE);
                 println!("\nother commands: stats --mtx FILE | --dataset NAME");
                 println!("                generate --dataset NAME [--scale F] [--seed N] --output FILE");
                 println!("                serve [--addr HOST:PORT] [--addr-file FILE] [--cache-dir DIR]");
                 println!("                update --addr HOST:PORT --mtx FILE [--insert R,C] [--delete R,C]");
+                println!("                shard --mtx FILE [--workers A1,A2,... | --shards N] [--partition KIND]");
                 0
             }
             other => {

@@ -761,6 +761,274 @@ pub fn cmd_update(flags: &[String]) -> i32 {
     }
 }
 
+/// Usage text for the `shard` command.
+pub const SHARD_USAGE: &str = "\
+usage: bgpc-cli shard (--mtx FILE | --bin FILE | --dataset NAME [--scale F] [--seed N])
+                      [--workers A1,A2,... | --shards N]
+                      [--partition block|cyclic|random] [--part-seed N]
+                      [--max-supersteps N]
+
+Colors the instance across shard workers over the serve protocol: each
+shard is a `bgpc-cli serve` daemon, supersteps and boundary-color
+exchanges travel over TCP, and the coordinator assembles and verifies
+the global coloring. --workers connects to already-running daemons;
+--shards N (default 2) spawns N local worker processes and tears them
+down afterwards. Unreachable workers are dropped and a worker dying
+mid-run degrades to a valid in-process fallback — degraded results
+still exit 0 and carry a greppable `degraded:` line.";
+
+/// Spawned `serve` worker children, killed on drop.
+struct SpawnedWorkers {
+    children: Vec<std::process::Child>,
+}
+
+impl Drop for SpawnedWorkers {
+    fn drop(&mut self) {
+        for c in self.children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Spawns `n` local `serve` worker processes (this same binary) and
+/// waits for each to publish its bound address through `--addr-file`.
+fn spawn_workers(n: usize) -> Result<(SpawnedWorkers, Vec<String>), Failure> {
+    let exe = std::env::current_exe()
+        .map_err(|e| Failure::new(EXIT_SERVICE, format!("resolving own binary: {e}")))?;
+    let dir = std::env::temp_dir().join(format!("bgpc-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| Failure::new(EXIT_SERVICE, format!("creating {}: {e}", dir.display())))?;
+    let mut guard = SpawnedWorkers { children: Vec::new() };
+    let mut addr_files = Vec::new();
+    for i in 0..n {
+        let addr_file = dir.join(format!("addr{i}"));
+        let _ = std::fs::remove_file(&addr_file);
+        let child = std::process::Command::new(&exe)
+            .args(["serve", "--addr", "127.0.0.1:0", "--threads", "1"])
+            .arg("--addr-file")
+            .arg(&addr_file)
+            .arg("--cache-dir")
+            .arg(dir.join(format!("cache{i}")))
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| Failure::new(EXIT_SERVICE, format!("spawning worker {i}: {e}")))?;
+        guard.children.push(child);
+        addr_files.push(addr_file);
+    }
+    let mut addrs = Vec::new();
+    for (i, f) in addr_files.iter().enumerate() {
+        let mut tries = 0u32;
+        // write_addr_file is atomic (rename), so a non-empty read is a
+        // complete address.
+        let addr = loop {
+            match std::fs::read_to_string(f) {
+                Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                _ => {
+                    tries += 1;
+                    if tries > 200 {
+                        return Err(Failure::new(
+                            EXIT_SERVICE,
+                            format!("worker {i} never published an address in {}", f.display()),
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+        };
+        addrs.push(addr);
+    }
+    Ok((guard, addrs))
+}
+
+/// Builds the requested partitioner over `n` vertices and `p` ranks.
+fn make_partition(kind: &str, n: usize, p: usize, seed: u64) -> Result<dist::Partition, String> {
+    match kind {
+        "block" => Ok(dist::Partition::block(n, p)),
+        "cyclic" => Ok(dist::Partition::cyclic(n, p)),
+        "random" => Ok(dist::Partition::random(n, p, seed)),
+        other => Err(format!("unknown --partition `{other}` (block|cyclic|random)")),
+    }
+}
+
+/// `bgpc-cli shard …` — color across shard worker processes.
+pub fn cmd_shard(flags: &[String]) -> i32 {
+    let mut input: Option<Input> = None;
+    let mut scale = 0.002f64;
+    let mut seed = 20170814u64;
+    let mut workers: Option<Vec<String>> = None;
+    let mut shards = 2usize;
+    let mut partition_kind = String::from("block");
+    let mut part_seed = 7u64;
+    let mut max_supersteps: Option<usize> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = flags[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            flags
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        let outcome: Result<(), String> = (|| {
+            match flag {
+                "--mtx" => input = Some(Input::Mtx(value(i)?.clone())),
+                "--bin" => input = Some(Input::Bin(value(i)?.clone())),
+                "--dataset" => {
+                    let name = value(i)?;
+                    let dataset = Dataset::from_name(name)
+                        .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+                    input = Some(Input::Dataset { dataset, scale, seed });
+                }
+                "--scale" => {
+                    scale = value(i)?.parse().map_err(|e| format!("bad --scale: {e}"))?
+                }
+                "--seed" => seed = value(i)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                "--workers" => {
+                    let list: Vec<String> = value(i)?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if list.is_empty() {
+                        return Err("--workers needs at least one address".into());
+                    }
+                    workers = Some(list);
+                }
+                "--shards" => {
+                    shards = value(i)?.parse().map_err(|e| format!("bad --shards: {e}"))?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                }
+                "--partition" => partition_kind = value(i)?.clone(),
+                "--part-seed" => {
+                    part_seed = value(i)?.parse().map_err(|e| format!("bad --part-seed: {e}"))?
+                }
+                "--max-supersteps" => {
+                    max_supersteps =
+                        Some(value(i)?.parse().map_err(|e| format!("bad --max-supersteps: {e}"))?)
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = outcome {
+            eprintln!("error: {e}\n\n{SHARD_USAGE}");
+            return EXIT_USAGE;
+        }
+        i += 2;
+    }
+    // --scale/--seed given after --dataset still apply: rebuild the input.
+    if let Some(Input::Dataset { dataset, .. }) = input {
+        input = Some(Input::Dataset { dataset, scale, seed });
+    }
+    let Some(input) = input else {
+        eprintln!("error: shard needs an instance (--mtx/--bin/--dataset)\n\n{SHARD_USAGE}");
+        return EXIT_USAGE;
+    };
+    finish(run_shard(
+        &input,
+        workers,
+        shards,
+        &partition_kind,
+        part_seed,
+        max_supersteps,
+    ))
+}
+
+fn run_shard(
+    input: &Input,
+    workers: Option<Vec<String>>,
+    shards: usize,
+    partition_kind: &str,
+    part_seed: u64,
+    max_supersteps: Option<usize>,
+) -> Result<(), Failure> {
+    let matrix = load(input)?;
+    let g = BipartiteGraph::try_from_matrix(&matrix)
+        .map_err(|e| Failure::new(EXIT_GRAPH, e.to_string()))?;
+    let n = g.n_vertices();
+
+    // Either connect to the given fleet or spawn a local one. The guard
+    // keeps spawned children alive until the run finishes.
+    let mut notes: Vec<String> = Vec::new();
+    let (_guard, candidates) = match workers {
+        Some(addrs) => (None, addrs),
+        None => {
+            let (guard, addrs) = spawn_workers(shards)?;
+            (Some(guard), addrs)
+        }
+    };
+    let requested = candidates.len();
+    let mut live = Vec::new();
+    for a in &candidates {
+        match std::net::TcpStream::connect(a) {
+            Ok(_) => live.push(a.clone()),
+            Err(e) => notes.push(format!("worker {a} unreachable ({e})")),
+        }
+    }
+
+    let (outcome, used) = if live.is_empty() {
+        notes.push("no reachable workers; recovered with a single-node run".into());
+        let partition = make_partition(partition_kind, n, requested.max(1), part_seed)
+            .map_err(|e| Failure::new(EXIT_USAGE, e))?;
+        let mut runner = dist::DistRunner::new(&g, partition);
+        if let Some(cap) = max_supersteps {
+            runner = runner.with_max_supersteps(cap);
+        }
+        let r = runner.run();
+        let outcome = dist::ShardOutcome {
+            colors: r.colors,
+            num_colors: r.num_colors,
+            supersteps: r.supersteps,
+            n_shards: requested.max(1),
+            degraded: None,
+        };
+        (outcome, 0)
+    } else {
+        let partition = make_partition(partition_kind, n, live.len(), part_seed)
+            .map_err(|e| Failure::new(EXIT_USAGE, e))?;
+        let mut coord = dist::Coordinator::connect(&live)
+            .map_err(|e| Failure::new(EXIT_SERVICE, format!("connecting workers: {e}")))?;
+        if let Some(cap) = max_supersteps {
+            coord = coord.with_max_supersteps(cap);
+        }
+        let outcome = coord
+            .color(&matrix, &partition)
+            .map_err(|e| Failure::new(EXIT_GRAPH, e))?;
+        (outcome, live.len())
+    };
+
+    // The coordinator already verified, but the CLI re-checks before
+    // reporting: an invalid assembled coloring is an internal error.
+    bgpc::verify::verify_bgpc(&g, &outcome.colors)
+        .map_err(|e| Failure::new(EXIT_INTERNAL, format!("assembled coloring invalid: {e}")))?;
+    if let Some(reason) = &outcome.degraded {
+        notes.push(reason.clone());
+    }
+
+    out!(
+        "shard: workers={used}/{requested} partition={partition_kind} rounds={} \
+         messages={} colors={} verified=true",
+        outcome.rounds(),
+        outcome.total_messages(),
+        outcome.num_colors
+    );
+    for (idx, s) in outcome.supersteps.iter().enumerate() {
+        out!(
+            "shard: round {} colored={} conflicts={} messages={}",
+            idx + 1,
+            s.colored,
+            s.conflicts,
+            s.messages
+        );
+    }
+    if !notes.is_empty() {
+        out!("degraded: {}", notes.join("; "));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,172 @@
+//! `bench_dist` — sharded-coloring benchmark over in-process workers.
+//!
+//! Boots one `serve` daemon per shard on loopback, drives the
+//! [`dist::Coordinator`] at 1/2/4/8 shards over a fixed synthetic
+//! instance, verifies every assembled coloring, and writes
+//! `BENCH_dist.json` (wall time, rounds, message volume per shard
+//! count). Workers are real daemon processes from the protocol's point
+//! of view — every superstep crosses TCP — but run in-process here so
+//! the benchmark is hermetic and deterministic apart from wall time.
+//!
+//! ```text
+//! bench_dist [--out FILE] [--nets N] [--verts N] [--nnz N] [--seed N]
+//!            [--partition block|cyclic|random]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use dist::{Coordinator, Partition};
+use graph::BipartiteGraph;
+use serve::{Daemon, ServeConfig};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    out: String,
+    nets: usize,
+    verts: usize,
+    nnz: usize,
+    seed: u64,
+    partition: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_dist.json".into(),
+        nets: 2500,
+        verts: 2000,
+        nnz: 30_000,
+        seed: 42,
+        partition: "block".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("bench_dist: {} needs a value", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--out" => args.out = value(i),
+            "--nets" => args.nets = value(i).parse().expect("--nets"),
+            "--verts" => args.verts = value(i).parse().expect("--verts"),
+            "--nnz" => args.nnz = value(i).parse().expect("--nnz"),
+            "--seed" => args.seed = value(i).parse().expect("--seed"),
+            "--partition" => args.partition = value(i),
+            other => {
+                eprintln!("bench_dist: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn make_partition(kind: &str, n: usize, shards: usize, seed: u64) -> Partition {
+    match kind {
+        "block" => Partition::block(n, shards),
+        "cyclic" => Partition::cyclic(n, shards),
+        "random" => Partition::random(n, shards, seed),
+        other => {
+            eprintln!("bench_dist: unknown partition {other} (block|cyclic|random)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn start_workers(n: usize) -> (Vec<Daemon>, Vec<String>) {
+    let mut daemons = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..n {
+        let cache = std::env::temp_dir().join(format!("bench-dist-{}-{i}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache);
+        let d = Daemon::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            pool_threads: 1,
+            cache_dir: cache,
+            read_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        })
+        .expect("worker daemon start");
+        addrs.push(d.local_addr().to_string());
+        daemons.push(d);
+    }
+    (daemons, addrs)
+}
+
+fn main() {
+    let args = parse_args();
+    let m = sparse::gen::bipartite_uniform(args.nets, args.verts, args.nnz, args.seed);
+    let g = BipartiteGraph::try_from_matrix(&m).expect("valid pattern");
+    let n = g.n_vertices();
+    let max_shards = *SHARD_COUNTS.iter().max().unwrap();
+    let (mut daemons, addrs) = start_workers(max_shards);
+
+    println!(
+        "bench_dist: instance nets={} verts={} nnz={} seed={} partition={}",
+        args.nets,
+        args.verts,
+        m.nnz(),
+        args.seed,
+        args.partition
+    );
+
+    let mut records = String::new();
+    let mut failed = false;
+    for (idx, &shards) in SHARD_COUNTS.iter().enumerate() {
+        let partition = make_partition(&args.partition, n, shards, args.seed);
+        let mut coord = Coordinator::connect(&addrs[..shards]).expect("connect workers");
+        let t0 = Instant::now();
+        let outcome = coord.color(&m, &partition).expect("instance is valid");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let verified = bgpc::verify::verify_bgpc(&g, &outcome.colors).is_ok();
+        let degraded = outcome.degraded.is_some();
+        if !verified || degraded {
+            failed = true;
+        }
+        println!(
+            "bench_dist: shards={shards} wall_ms={wall_ms:.2} rounds={} messages={} \
+             colors={} verified={verified} degraded={degraded}",
+            outcome.rounds(),
+            outcome.total_messages(),
+            outcome.num_colors
+        );
+        if idx > 0 {
+            records.push_str(",\n");
+        }
+        records.push_str(&format!(
+            "    {{\"shards\": {shards}, \"wall_ms\": {wall_ms:.3}, \"rounds\": {}, \
+             \"messages\": {}, \"num_colors\": {}, \"verified\": {verified}, \
+             \"degraded\": {degraded}}}",
+            outcome.rounds(),
+            outcome.total_messages(),
+            outcome.num_colors
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dist\",\n  \"instance\": {{\"nets\": {}, \"vertices\": {}, \
+         \"nnz\": {}, \"seed\": {}}},\n  \"partition\": \"{}\",\n  \"isa\": \"{}\",\n  \
+         \"records\": [\n{}\n  ]\n}}\n",
+        args.nets,
+        args.verts,
+        m.nnz(),
+        args.seed,
+        args.partition,
+        bgpc::simd::isa_features(),
+        records
+    );
+    std::fs::write(&args.out, json).expect("write report");
+    println!("bench_dist: wrote {}", args.out);
+
+    for d in daemons.iter_mut() {
+        d.shutdown();
+    }
+    if failed {
+        eprintln!("bench_dist: FAIL — an outcome was unverified or degraded");
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,7 @@ use crate::Partition;
 /// frameworks also bound their communication rounds; large
 /// distance-2-clique instances (giant nets split across many ranks) can
 /// otherwise take `Ω(max net / ranks)` supersteps.
-const MAX_SUPERSTEPS: usize = 512;
+pub const MAX_SUPERSTEPS: usize = 512;
 
 /// splitmix64-style hash for the color-jitter draw.
 #[inline]
@@ -127,6 +127,9 @@ pub struct DistRunner<'g> {
     /// interested[v] = ranks other than the owner that must learn v's
     /// color (owners of v's distance-2 neighbors).
     interested: Vec<Vec<u32>>,
+    /// Round bound before the serial-cleanup fallback (see
+    /// [`DistRunner::with_max_supersteps`]).
+    max_supersteps: usize,
 }
 
 impl<'g> DistRunner<'g> {
@@ -153,7 +156,24 @@ impl<'g> DistRunner<'g> {
             graph,
             partition,
             interested,
+            max_supersteps: MAX_SUPERSTEPS,
         }
+    }
+
+    /// Overrides the round bound before the serial-cleanup fallback
+    /// (default [`MAX_SUPERSTEPS`]). Primarily a test hook: a tiny bound
+    /// forces the fallback on instances that would otherwise converge.
+    pub fn with_max_supersteps(mut self, cap: usize) -> Self {
+        self.max_supersteps = cap.max(1);
+        self
+    }
+
+    /// One full boundary exchange's message volume: the sum over all
+    /// vertices of their interested remote-rank counts. This is what a
+    /// flush of every boundary vertex costs, and what the serial-cleanup
+    /// fallback charges for its implicit all-to-all view merge.
+    pub fn boundary_volume(&self) -> usize {
+        self.interested.iter().map(|i| i.len()).sum()
     }
 
     /// Fraction of vertices with at least one interested remote rank —
@@ -187,15 +207,19 @@ impl<'g> DistRunner<'g> {
         let mut superstep = 0usize;
         while queues.iter().any(|q| !q.is_empty()) {
             superstep += 1;
-            if superstep > MAX_SUPERSTEPS {
+            if superstep > self.max_supersteps {
                 // Serial cleanup, as real frameworks bound their rounds:
                 // merge the owners' views and color the stragglers
-                // sequentially (conflict-free by construction).
+                // sequentially (conflict-free by construction). Merging
+                // every owner's view is an implicit all-to-all, so the
+                // step is charged one full boundary exchange — otherwise
+                // total_messages() under-reports exactly on the worst
+                // instances, the ones that hit the bound.
                 serial_cleanup(g, &self.partition, &mut views, &queues, &mut fb);
                 let colored: usize = queues.iter().map(|q| q.len()).sum();
                 supersteps.push(SuperstepStats {
                     colored,
-                    messages: 0,
+                    messages: self.boundary_volume(),
                     conflicts: 0,
                 });
                 break;
@@ -392,6 +416,28 @@ mod tests {
             assert_eq!(w[0].conflicts, w[1].colored);
         }
         assert_eq!(r.supersteps.last().unwrap().conflicts, 0);
+    }
+
+    #[test]
+    fn forced_fallback_charges_boundary_volume() {
+        // A tiny round bound forces the serial-cleanup path on a
+        // conflict-heavy cyclic partition. The cleanup merges every
+        // owner's view — an implicit all-to-all — so its superstep must
+        // charge one full boundary exchange, not zero.
+        let g = instance();
+        let runner = DistRunner::new(&g, Partition::cyclic(g.n_vertices(), 8))
+            .with_max_supersteps(1);
+        let volume = runner.boundary_volume();
+        assert!(volume > 0, "cyclic partition of a dense instance has boundary");
+        let r = runner.run();
+        verify_bgpc(&g, &r.colors).unwrap();
+        assert_eq!(r.rounds(), 2, "one speculative round + the cleanup round");
+        let cleanup = r.supersteps.last().unwrap();
+        assert_eq!(cleanup.messages, volume, "merge charged as one boundary exchange");
+        assert!(cleanup.colored > 0, "the bound only trips with stragglers left");
+        assert_eq!(cleanup.conflicts, 0, "serial cleanup is conflict-free");
+        // And the charge is visible in the aggregate.
+        assert!(r.total_messages() > r.supersteps[0].messages);
     }
 
     #[test]

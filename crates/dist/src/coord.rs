@@ -1,0 +1,475 @@
+//! Multi-process shard coordinator over the serve protocol.
+//!
+//! [`Coordinator`] turns N `serve` daemons into the ranks of a real
+//! scale-out coloring run: it connects over TCP, installs one shard per
+//! worker ([`serve::ShardRequest`] — owner-computes partitioning of the
+//! vertex side via [`Partition`]), then drives BSP supersteps
+//! ([`serve::SuperstepRequest`] / [`serve::FlushReply`]) until a round
+//! re-colors nothing, harvests the owned assignments, and verifies the
+//! assembled coloring in original vertex ids.
+//!
+//! Round `s`'s flushes carry the conflicts detected against round
+//! `s - 1`'s coloring (the wire shifts detection by one round), so the
+//! recorded [`SuperstepStats`] line up exactly with the in-process
+//! [`DistRunner`]'s accounting: `conflicts[i] == colored[i + 1]` and the
+//! final round reports zero conflicts. Workers color their interior
+//! vertices *after* writing each round-1 flush — the interior/boundary
+//! overlap — so the coordinator's routing work and the workers' interior
+//! work proceed concurrently.
+//!
+//! **Degradation, never absence:** any worker failing mid-run (I/O
+//! error, protocol violation, invalid harvest) aborts the sharded
+//! attempt and the coordinator re-runs the same instance through the
+//! in-process [`DistRunner`] on one node. The result is still a valid
+//! coloring, tagged with a [`ShardOutcome::degraded`] reason.
+//!
+//! Like the in-process runner, rounds are bounded: past the cap the
+//! coordinator harvests the speculative state, repairs the remaining
+//! conflicts sequentially, and charges the merge one full boundary
+//! exchange (see `bsp.rs` — the same accounting rule).
+
+use std::net::TcpStream;
+
+use bgpc::{Color, StampSet, UNCOLORED};
+use graph::BipartiteGraph;
+use serve::protocol::{
+    read_frame, write_frame, FlushReply, FrameKind, ShardRequest, SuperstepRequest,
+    DEFAULT_MAX_FRAME,
+};
+
+use crate::bsp::MAX_SUPERSTEPS;
+use crate::{DistRunner, Partition, SuperstepStats};
+
+/// Result of a sharded coloring run.
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// Final colors (valid, complete, original vertex ids).
+    pub colors: Vec<Color>,
+    /// Distinct colors used.
+    pub num_colors: usize,
+    /// Per-superstep statistics, same shape as [`crate::DistResult`].
+    pub supersteps: Vec<SuperstepStats>,
+    /// Number of shards the run was partitioned across.
+    pub n_shards: usize,
+    /// `Some(reason)` when a worker failure forced the single-node
+    /// fallback; `None` for a clean sharded run.
+    pub degraded: Option<String>,
+}
+
+impl ShardOutcome {
+    /// Number of supersteps (communication rounds) to convergence.
+    pub fn rounds(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Total message volume across rounds.
+    pub fn total_messages(&self) -> usize {
+        self.supersteps.iter().map(|s| s.messages).sum()
+    }
+}
+
+/// A coordinator holding one persistent connection per worker daemon.
+pub struct Coordinator {
+    workers: Vec<Worker>,
+    max_frame: u32,
+    max_supersteps: usize,
+}
+
+struct Worker {
+    addr: String,
+    stream: TcpStream,
+}
+
+impl Coordinator {
+    /// Connects to every worker address; fails if any is unreachable
+    /// (callers wanting partial fleets filter addresses first).
+    pub fn connect(addrs: &[String]) -> std::io::Result<Coordinator> {
+        let mut workers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            workers.push(Worker { addr: addr.clone(), stream });
+        }
+        Ok(Coordinator {
+            workers,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_supersteps: MAX_SUPERSTEPS,
+        })
+    }
+
+    /// Number of connected workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Overrides the round bound before the sequential-repair path
+    /// (default [`MAX_SUPERSTEPS`]); primarily a test hook.
+    pub fn with_max_supersteps(mut self, cap: usize) -> Self {
+        self.max_supersteps = cap.max(1);
+        self
+    }
+
+    /// Colors `matrix` across the connected workers under `partition`
+    /// (one rank per worker, `partition.n_ranks()` must equal
+    /// [`Coordinator::n_workers`]).
+    ///
+    /// Returns `Err` only when the *instance* is unusable (invalid
+    /// pattern). Worker failures degrade instead: the instance is
+    /// re-colored in process and the outcome tagged with the reason.
+    pub fn color(
+        &mut self,
+        matrix: &sparse::Csr,
+        partition: &Partition,
+    ) -> Result<ShardOutcome, String> {
+        let g = BipartiteGraph::try_from_matrix(matrix).map_err(|e| e.to_string())?;
+        assert_eq!(partition.len(), g.n_vertices(), "partition covers every vertex");
+        assert_eq!(
+            partition.n_ranks(),
+            self.workers.len(),
+            "one shard per connected worker"
+        );
+        match self.try_sharded(&g, matrix, partition) {
+            Ok(outcome) => Ok(outcome),
+            Err(fail) => {
+                let runner = DistRunner::new(&g, partition.clone());
+                let r = runner.run();
+                Ok(ShardOutcome {
+                    colors: r.colors,
+                    num_colors: r.num_colors,
+                    supersteps: r.supersteps,
+                    n_shards: partition.n_ranks(),
+                    degraded: Some(format!("{fail}; recovered with a single-node run")),
+                })
+            }
+        }
+    }
+
+    fn send(&mut self, rank: usize, kind: FrameKind, payload: &[u8]) -> Result<(), String> {
+        let w = &mut self.workers[rank];
+        write_frame(&mut w.stream, kind, payload, 0)
+            .map_err(|e| format!("worker {rank} ({}) write failed: {e}", w.addr))
+    }
+
+    fn recv(&mut self, rank: usize, want: FrameKind) -> Result<Vec<u8>, String> {
+        let w = &mut self.workers[rank];
+        let (kind, payload) = read_frame(&mut w.stream, self.max_frame)
+            .map_err(|e| format!("worker {rank} ({}) read failed: {e}", w.addr))?;
+        if kind != want {
+            let detail = String::from_utf8_lossy(&payload).into_owned();
+            return Err(format!(
+                "worker {rank} ({}) answered {kind:?} instead of {want:?}: {detail}",
+                w.addr
+            ));
+        }
+        Ok(payload)
+    }
+
+    /// One full round: write the request to every worker, then collect
+    /// every Flush — writes go out before any read so the workers run
+    /// their supersteps concurrently.
+    fn round(&mut self, reqs: Vec<SuperstepRequest>) -> Result<Vec<FlushReply>, String> {
+        for (r, req) in reqs.iter().enumerate() {
+            self.send(r, FrameKind::Superstep, &req.encode())?;
+        }
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for r in 0..self.workers.len() {
+            let payload = self.recv(r, FrameKind::Flush)?;
+            replies.push(FlushReply::decode(&payload).map_err(|e| {
+                format!("worker {r} ({}) sent a malformed flush: {e}", self.workers[r].addr)
+            })?);
+        }
+        Ok(replies)
+    }
+
+    fn try_sharded(
+        &mut self,
+        g: &BipartiteGraph,
+        matrix: &sparse::Csr,
+        partition: &Partition,
+    ) -> Result<ShardOutcome, String> {
+        let p = self.workers.len();
+        let n = g.n_vertices();
+        let mut graph_bytes = Vec::new();
+        sparse::bin_io::write_bin(&mut graph_bytes, matrix)
+            .map_err(|e| format!("encoding graph bytes failed: {e}"))?;
+
+        // Install one shard per worker; each ack is a Pong.
+        for rank in 0..p {
+            let req = ShardRequest {
+                shard: rank as u32,
+                n_shards: p as u32,
+                owners: partition.owners().to_vec(),
+                graph_bytes: graph_bytes.clone(),
+            };
+            self.send(rank, FrameKind::Shard, &req.encode())?;
+        }
+        for rank in 0..p {
+            self.recv(rank, FrameKind::Pong)
+                .map_err(|e| format!("shard install rejected: {e}"))?;
+        }
+
+        // Drive supersteps until a quiescent round. `inbox[r]` holds the
+        // boundary colors routed to shard r from the previous round.
+        let mut supersteps: Vec<SuperstepStats> = Vec::new();
+        let mut inbox: Vec<Vec<(u32, i32)>> = vec![Vec::new(); p];
+        let mut capped = false;
+        let mut s = 1u32;
+        loop {
+            if s as usize > self.max_supersteps {
+                capped = true;
+                break;
+            }
+            let reqs: Vec<SuperstepRequest> = inbox
+                .iter_mut()
+                .map(|up| SuperstepRequest {
+                    superstep: s,
+                    harvest: false,
+                    updates: std::mem::take(up),
+                })
+                .collect();
+            let replies = self.round(reqs)?;
+            let colored: usize = replies.iter().map(|f| f.colored as usize).sum();
+            let conflicts: usize = replies.iter().map(|f| f.conflicts as usize).sum();
+            let messages: usize = replies.iter().map(|f| f.messages.len()).sum();
+            // The wire shifts conflict detection by one round: round s
+            // reports the conflicts of round s-1's coloring, which close
+            // the previously recorded superstep.
+            if let Some(prev) = supersteps.last_mut() {
+                prev.conflicts = conflicts;
+            }
+            if colored == 0 {
+                // Quiescent probe round: every speculative color
+                // survived detection; nothing to record.
+                break;
+            }
+            supersteps.push(SuperstepStats { colored, messages, conflicts: 0 });
+            for reply in replies {
+                for (dest, v, c) in reply.messages {
+                    let dest = dest as usize;
+                    if dest >= p {
+                        return Err(format!("flush routed to nonexistent shard {dest}"));
+                    }
+                    inbox[dest].push((v, c));
+                }
+            }
+            s += 1;
+        }
+
+        // Harvest the owned assignments and assemble in original ids.
+        let reqs: Vec<SuperstepRequest> = (0..p)
+            .map(|_| SuperstepRequest { superstep: s, harvest: true, updates: Vec::new() })
+            .collect();
+        let replies = self.round(reqs)?;
+        let mut colors = vec![UNCOLORED; n];
+        for (rank, reply) in replies.iter().enumerate() {
+            for &(_, v, c) in &reply.messages {
+                let vu = v as usize;
+                if vu >= n || partition.owner(vu) != rank {
+                    return Err(format!("worker {rank} harvested a vertex it does not own"));
+                }
+                colors[vu] = c;
+            }
+        }
+        if let Some(v) = colors.iter().position(|&c| c == UNCOLORED) {
+            if !capped {
+                return Err(format!("vertex {v} missing from the harvest"));
+            }
+        }
+
+        if capped {
+            // Bounded rounds, same rule as the in-process runner: repair
+            // the stragglers sequentially against the merged views and
+            // charge the implicit all-to-all one boundary exchange.
+            let repaired = repair_conflicts(g, &mut colors);
+            if let Some(prev) = supersteps.last_mut() {
+                prev.conflicts = repaired;
+            }
+            let volume = DistRunner::new(g, partition.clone()).boundary_volume();
+            supersteps.push(SuperstepStats {
+                colored: repaired,
+                messages: volume,
+                conflicts: 0,
+            });
+        }
+
+        bgpc::verify::verify_bgpc(g, &colors)
+            .map_err(|e| format!("assembled sharded coloring failed verification: {e}"))?;
+        let num_colors = bgpc::metrics::count_distinct_colors(&colors);
+        Ok(ShardOutcome {
+            colors,
+            num_colors,
+            supersteps,
+            n_shards: p,
+            degraded: None,
+        })
+    }
+}
+
+/// Sequentially re-colors every id-ordered conflict loser (and any
+/// uncolored straggler) against the merged global state; returns how
+/// many vertices were repaired.
+fn repair_conflicts(g: &BipartiteGraph, colors: &mut [Color]) -> usize {
+    let mut losers: Vec<u32> = Vec::new();
+    for w in 0..g.n_vertices() {
+        let cw = colors[w];
+        let lost = cw == UNCOLORED
+            || g.nets(w).iter().any(|&net| {
+                g.vtxs(net as usize)
+                    .iter()
+                    .any(|&u| (u as usize) < w && colors[u as usize] == cw)
+            });
+        if lost {
+            losers.push(w as u32);
+        }
+    }
+    let mut fb = StampSet::with_capacity(g.max_net_size() + 16);
+    for &w in &losers {
+        colors[w as usize] = UNCOLORED;
+    }
+    for &w in &losers {
+        let wu = w as usize;
+        fb.advance();
+        for &net in g.nets(wu) {
+            for &u in g.vtxs(net as usize) {
+                if u != w {
+                    let cu = colors[u as usize];
+                    if cu != UNCOLORED {
+                        fb.insert(cu);
+                    }
+                }
+            }
+        }
+        colors[wu] = fb.first_fit_from(0);
+    }
+    losers.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpc::verify::verify_bgpc;
+    use serve::{Daemon, ServeConfig};
+    use std::time::Duration;
+
+    fn start_workers(n: usize, tag: &str) -> (Vec<Daemon>, Vec<String>) {
+        let mut daemons = Vec::new();
+        let mut addrs = Vec::new();
+        for i in 0..n {
+            let cache = std::env::temp_dir().join(format!(
+                "dist-coord-{tag}-{}-{i}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&cache);
+            let d = Daemon::start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                pool_threads: 1,
+                cache_dir: cache,
+                read_timeout: Duration::from_secs(10),
+                ..ServeConfig::default()
+            })
+            .expect("worker daemon start");
+            addrs.push(d.local_addr().to_string());
+            daemons.push(d);
+        }
+        (daemons, addrs)
+    }
+
+    fn instance() -> sparse::Csr {
+        sparse::gen::bipartite_uniform(60, 80, 900, 5)
+    }
+
+    #[test]
+    fn sharded_run_matches_validity_across_partitioners() {
+        let m = instance();
+        let g = BipartiteGraph::from_matrix(&m);
+        let (mut daemons, addrs) = start_workers(4, "valid");
+        for partition in [
+            Partition::block(g.n_vertices(), 4),
+            Partition::cyclic(g.n_vertices(), 4),
+            Partition::random(g.n_vertices(), 4, 3),
+        ] {
+            let mut coord = Coordinator::connect(&addrs).expect("connect");
+            let outcome = coord.color(&m, &partition).expect("color");
+            assert!(outcome.degraded.is_none(), "clean workers: {:?}", outcome.degraded);
+            verify_bgpc(&g, &outcome.colors).unwrap();
+            assert!(outcome.rounds() >= 1);
+            assert_eq!(outcome.n_shards, 4);
+            // The accounting invariant shared with the in-process runner.
+            for w in outcome.supersteps.windows(2) {
+                assert_eq!(w[0].conflicts, w[1].colored);
+            }
+            assert_eq!(outcome.supersteps.last().unwrap().conflicts, 0);
+        }
+        for d in daemons.iter_mut() {
+            d.shutdown();
+        }
+    }
+
+    #[test]
+    fn single_worker_has_one_round_and_no_messages() {
+        let m = instance();
+        let g = BipartiteGraph::from_matrix(&m);
+        let (mut daemons, addrs) = start_workers(1, "single");
+        let mut coord = Coordinator::connect(&addrs).expect("connect");
+        let outcome = coord
+            .color(&m, &Partition::block(g.n_vertices(), 1))
+            .expect("color");
+        assert!(outcome.degraded.is_none());
+        verify_bgpc(&g, &outcome.colors).unwrap();
+        assert_eq!(outcome.rounds(), 1, "one shard cannot conflict");
+        assert_eq!(outcome.total_messages(), 0);
+        for d in daemons.iter_mut() {
+            d.shutdown();
+        }
+    }
+
+    #[test]
+    fn worker_death_mid_superstep_degrades_to_a_valid_fallback() {
+        // A rogue "worker" that accepts the connection, acks the shard
+        // install, then hangs up before the first superstep — exactly
+        // what a worker dying mid-run looks like to the coordinator.
+        let rogue = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let rogue_addr = rogue.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = rogue.accept().unwrap();
+            let _ = read_frame(&mut s, DEFAULT_MAX_FRAME).unwrap();
+            write_frame(&mut s, FrameKind::Pong, b"", 0).unwrap();
+            // Drop the stream: the coordinator's next read fails.
+        });
+        let (mut daemons, mut addrs) = start_workers(1, "death");
+        addrs.push(rogue_addr);
+        let m = instance();
+        let g = BipartiteGraph::from_matrix(&m);
+        let mut coord = Coordinator::connect(&addrs).expect("connect");
+        let outcome = coord
+            .color(&m, &Partition::block(g.n_vertices(), 2))
+            .expect("color degrades, not errors");
+        let reason = outcome.degraded.expect("worker death must tag the outcome");
+        assert!(reason.contains("single-node"), "reason: {reason}");
+        verify_bgpc(&g, &outcome.colors).unwrap();
+        t.join().unwrap();
+        for d in daemons.iter_mut() {
+            d.shutdown();
+        }
+    }
+
+    #[test]
+    fn capped_rounds_repair_sequentially_and_charge_the_merge() {
+        let m = instance();
+        let g = BipartiteGraph::from_matrix(&m);
+        let partition = Partition::cyclic(g.n_vertices(), 4);
+        let volume = DistRunner::new(&g, partition.clone()).boundary_volume();
+        let (mut daemons, addrs) = start_workers(4, "capped");
+        let mut coord = Coordinator::connect(&addrs).expect("connect").with_max_supersteps(1);
+        let outcome = coord.color(&m, &partition).expect("color");
+        assert!(outcome.degraded.is_none(), "the cap is policy, not failure");
+        verify_bgpc(&g, &outcome.colors).unwrap();
+        assert_eq!(outcome.rounds(), 2, "one speculative round + the repair round");
+        let repair = outcome.supersteps.last().unwrap();
+        assert_eq!(repair.messages, volume, "merge charged one boundary exchange");
+        assert_eq!(repair.conflicts, 0);
+        for d in daemons.iter_mut() {
+            d.shutdown();
+        }
+    }
+}

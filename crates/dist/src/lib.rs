@@ -1,16 +1,27 @@
-//! `dist` — a simulated distributed-memory speculative coloring framework.
+//! `dist` — distributed-memory speculative coloring: an in-process BSP
+//! model plus a real multi-process shard coordinator.
 //!
 //! The paper's related work (§VII) credits the speculative
 //! color/detect/repair loop to distributed-memory BGPC/D2GC frameworks
 //! (Boman, Bozdağ, Çatalyürek, Gebremedhin, Manne et al.): each rank owns
 //! a partition of the vertices, colors them in supersteps, exchanges
 //! boundary colors, and re-queues conflict losers. This crate implements
-//! that framework as a **deterministic BSP simulation** — ranks are plain
-//! data, "messages" are explicit buffers flushed at superstep boundaries —
-//! so its behaviour (rounds, conflicts, message volume) can be studied on
-//! one machine and contrasted with the paper's shared-memory algorithms.
+//! that framework twice, sharing the [`Partition`] types and the
+//! per-superstep accounting:
 //!
-//! What the simulation preserves from the real systems:
+//! * [`DistRunner`] ([`bsp`]) is a **deterministic BSP simulation** —
+//!   ranks are plain data, "messages" are explicit buffers flushed at
+//!   superstep boundaries — so rounds/conflicts/message volume can be
+//!   studied on one machine and contrasted with the paper's
+//!   shared-memory algorithms.
+//! * [`Coordinator`] ([`coord`]) is the **real scale-out path**: each
+//!   shard is a `serve` worker process, supersteps and boundary
+//!   exchanges travel over TCP in the daemon's length-prefixed protocol
+//!   (`Shard`/`Superstep`/`Flush` frames), interior vertices color while
+//!   boundary messages are in flight, and a worker dying mid-superstep
+//!   degrades to a valid single-node run instead of failing.
+//!
+//! What both paths preserve from the real systems:
 //!
 //! * the **owner-computes** rule — only the owner colors a vertex;
 //! * **stale boundary knowledge** — within a superstep, remote colors are
@@ -20,12 +31,14 @@
 //!   pair, the larger id is re-queued (matching the shared-memory rule);
 //! * per-superstep accounting of conflicts and message volume.
 //!
-//! What it abstracts away: network latency/topology and overlap of
-//! communication with computation (the paper does not evaluate those
-//! either — see DESIGN.md §4).
+//! What the simulation abstracts away — network latency and
+//! communication/computation overlap — the sharded path exercises for
+//! real (see DESIGN.md §11).
 
 pub mod bsp;
+pub mod coord;
 pub mod partition;
 
 pub use bsp::{DistResult, DistRunner, SuperstepStats};
+pub use coord::{Coordinator, ShardOutcome};
 pub use partition::Partition;

@@ -20,6 +20,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::protocol::Priority;
+use crate::sync::{lock_recover, wait_recover};
 
 /// Seed for an incremental update job: the cached base coloring plus the
 /// dirty vertices of the applied delta. Present only on jobs admitted
@@ -122,7 +123,7 @@ impl AdmissionQueue {
 
     /// Current depth across lanes.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("admission queue poisoned").depth
+        lock_recover(&self.inner).depth
     }
 
     /// Highest depth ever observed.
@@ -132,7 +133,12 @@ impl AdmissionQueue {
 
     /// Non-blocking admission: enqueues or refuses immediately.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
-        let mut g = self.inner.lock().expect("admission queue poisoned");
+        let mut g = lock_recover(&self.inner);
+        // Poison-injection point: an armed panic here unwinds while the
+        // queue lock is held, poisoning it — the recovery contract
+        // (`lock_recover` everywhere) is what keeps the daemon alive
+        // afterwards. Proven end to end in `tests/poison.rs`.
+        par::faults::fire("serve.queue.poison", 0);
         if g.closed {
             return Err(SubmitError::Closed);
         }
@@ -151,7 +157,7 @@ impl AdmissionQueue {
     /// Blocking pop in priority order; `None` once the queue is closed
     /// *and* drained.
     pub fn pop(&self) -> Option<Job> {
-        let mut g = self.inner.lock().expect("admission queue poisoned");
+        let mut g = lock_recover(&self.inner);
         loop {
             for lane in &mut g.lanes {
                 if let Some(job) = lane.pop_front() {
@@ -162,14 +168,14 @@ impl AdmissionQueue {
             if g.closed {
                 return None;
             }
-            g = self.nonempty.wait(g).expect("admission queue poisoned");
+            g = wait_recover(&self.nonempty, g);
         }
     }
 
     /// Closes the queue: future submits fail, `pop` drains then returns
     /// `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("admission queue poisoned").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.nonempty.notify_all();
     }
 }

@@ -35,7 +35,7 @@ use crate::cache::{CachedColoring, ResultCache};
 use crate::fingerprint::csr_fingerprint;
 use crate::protocol::{
     encode_backpressure, read_frame, write_frame, FrameKind, JobRequest, JobResult, ProtoError,
-    UpdateRequest, DEFAULT_MAX_FRAME,
+    ShardRequest, SuperstepRequest, UpdateRequest, DEFAULT_MAX_FRAME,
 };
 use crate::stats::ServeStats;
 
@@ -196,12 +196,7 @@ fn request_shutdown(shared: &Shared) {
         return;
     }
     shared.queue.close();
-    if let Some(tok) = shared
-        .current_cancel
-        .lock()
-        .expect("cancel slot poisoned")
-        .as_ref()
-    {
+    if let Some(tok) = crate::sync::lock_recover(&shared.current_cancel).as_ref() {
         tok.cancel();
     }
     // Wake the accept loop so it notices the flag.
@@ -233,6 +228,10 @@ fn respond(stream: &mut TcpStream, kind: FrameKind, payload: &[u8]) -> bool {
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
+    // Sharded-coloring state: a Shard install binds a worker to this
+    // connection; Superstep frames then drive it. Connection-local by
+    // design — a dropped coordinator connection reclaims the shard.
+    let mut shard: Option<crate::shard::ShardWorker> = None;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -276,6 +275,56 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             FrameKind::Update => {
                 if !handle_update(&mut stream, shared, &payload) {
                     return;
+                }
+            }
+            FrameKind::Shard => {
+                let install = ShardRequest::decode(&payload)
+                    .map_err(|e| e.to_string())
+                    .and_then(crate::shard::ShardWorker::install);
+                match install {
+                    Ok(w) => {
+                        shard = Some(w);
+                        ServeStats::bump(&shared.stats.shard_installs);
+                        if !respond(&mut stream, FrameKind::Pong, b"") {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        ServeStats::bump(&shared.stats.invalid_jobs);
+                        respond(&mut stream, FrameKind::InvalidJob, e.as_bytes());
+                        return;
+                    }
+                }
+            }
+            FrameKind::Superstep => {
+                let Some(worker) = shard.as_mut() else {
+                    ServeStats::bump(&shared.stats.protocol_errors);
+                    respond(
+                        &mut stream,
+                        FrameKind::ProtocolError,
+                        b"Superstep before Shard install",
+                    );
+                    return;
+                };
+                match SuperstepRequest::decode(&payload) {
+                    Ok(req) => {
+                        let reply = worker.superstep(&req);
+                        ServeStats::bump(&shared.stats.supersteps);
+                        if !respond(&mut stream, FrameKind::Flush, &reply.encode()) {
+                            return;
+                        }
+                        // Interior/boundary overlap: the Flush frame is
+                        // already on the wire, so deferred interior
+                        // coloring runs while the coordinator routes
+                        // boundary messages (the next Superstep frame
+                        // waits in the socket buffer).
+                        worker.finish_deferred();
+                    }
+                    Err(e) => {
+                        ServeStats::bump(&shared.stats.invalid_jobs);
+                        respond(&mut stream, FrameKind::InvalidJob, e.to_string().as_bytes());
+                        return;
+                    }
                 }
             }
             // A client sending response kinds is violating the protocol.
@@ -543,7 +592,7 @@ fn executor_loop(shared: &Arc<Shared>) {
 fn run_job(shared: &Arc<Shared>, pool: &par::Pool, engine: &bgpc::Engine, job: &Job) -> JobReply {
     ServeStats::bump(&shared.stats.cache_misses);
     let cancel = bgpc::CancelToken::new();
-    *shared.current_cancel.lock().expect("cancel slot poisoned") = Some(cancel.clone());
+    *crate::sync::lock_recover(&shared.current_cancel) = Some(cancel.clone());
     let outcome = par::contain(|| {
         // Panic injection for the job body — contained below, answered
         // with ServerError, daemon keeps serving.
@@ -617,7 +666,7 @@ fn run_job(shared: &Arc<Shared>, pool: &par::Pool, engine: &bgpc::Engine, job: &
             }
         }
     });
-    *shared.current_cancel.lock().expect("cancel slot poisoned") = None;
+    *crate::sync::lock_recover(&shared.current_cancel) = None;
     match outcome {
         Err(panic) => {
             ServeStats::bump(&shared.stats.worker_panics);

@@ -44,14 +44,25 @@
 //!   a kind byte and a capped length prefix — adversarial input (oversized
 //!   prefixes, garbage, half-closed and slow-loris connections) produces
 //!   typed errors, never a panic or an unbounded allocation.
+//! * **Shard worker** ([`shard`]): the daemon doubles as one shard of a
+//!   multi-process coloring. A `Shard` frame installs a
+//!   [`ShardWorker`] on the connection (graph + owner map), after which
+//!   `Superstep`/`Flush` rounds drive speculative boundary coloring
+//!   with the conflict exchange riding the same TCP connection — the
+//!   scale-out path behind the `dist` crate's `Coordinator` and
+//!   `bgpc-cli shard` (DESIGN.md §11).
 //! * **Client** ([`client`]): reconnecting client with capped exponential
 //!   backoff plus deterministic jitter, distinguishing retryable faults
 //!   (backpressure, connection reset, torn frame) from terminal ones
 //!   (invalid job, graph error).
 //! * **Fault injection**: the daemon is instrumented with
 //!   [`par::faults`] fail points (`serve.frame.torn`, `serve.conn.stall`,
-//!   `serve.cache.write_abort`, `serve.job.panic`); the `servecov` test
-//!   proves each degrades the affected request and nothing else.
+//!   `serve.cache.write_abort`, `serve.job.panic`,
+//!   `serve.queue.poison`); the `servecov` and `poison` tests prove
+//!   each degrades the affected request and nothing else. Shared locks
+//!   are taken through [`sync::lock_recover`], so a mutex poisoned by
+//!   a panicking holder is recovered instead of cascading panics
+//!   through every later client.
 
 pub mod admission;
 pub mod cache;
@@ -59,12 +70,19 @@ pub mod client;
 pub mod daemon;
 pub mod fingerprint;
 pub mod protocol;
+pub mod shard;
 pub mod stats;
+pub mod sync;
 
 pub use admission::{AdmissionQueue, Job, SubmitError, UpdateSeed};
 pub use cache::ResultCache;
 pub use client::{ClientError, JobOutcome, RetryPolicy, ServeClient};
 pub use daemon::{Daemon, ServeConfig};
 pub use fingerprint::csr_fingerprint;
-pub use protocol::{FrameKind, JobRequest, JobResult, Priority, ProtoError, UpdateRequest};
+pub use protocol::{
+    FlushReply, FrameKind, JobRequest, JobResult, Priority, ProtoError, ShardRequest,
+    SuperstepRequest, UpdateRequest,
+};
+pub use shard::ShardWorker;
 pub use stats::ServeStats;
+pub use sync::{lock_recover, wait_recover};

@@ -55,6 +55,16 @@ pub enum FrameKind {
     /// coloring is still cached, the daemon recolors only the delta's
     /// dirty vertices and marks the reply `cache_hit`.
     Update = 0x05,
+    /// Coordinator → worker: install a shard for sharded coloring
+    /// (payload: [`ShardRequest`] — shard id, owner array, graph bytes).
+    /// Acknowledged with [`FrameKind::Pong`]; the worker then answers
+    /// [`FrameKind::Superstep`] frames on the same connection.
+    Shard = 0x06,
+    /// Coordinator → worker: drive one BSP superstep against the
+    /// installed shard (payload: [`SuperstepRequest`] — round number and
+    /// incoming boundary colors). Answered with [`FrameKind::Flush`].
+    /// Sent before a [`FrameKind::Shard`] install it is a protocol error.
+    Superstep = 0x07,
     /// Daemon → client: a finished coloring (payload: [`JobResult`]).
     Result = 0x81,
     /// Daemon → client: the admission queue is full; retry later
@@ -77,6 +87,10 @@ pub enum FrameKind {
     /// unknown kind, oversized length). Sent once, then the connection is
     /// dropped.
     ProtocolError = 0x88,
+    /// Worker → coordinator: the boundary flush ending one superstep
+    /// (payload: [`FlushReply`] — vertices colored, conflicts re-queued,
+    /// outgoing boundary messages).
+    Flush = 0x89,
 }
 
 impl FrameKind {
@@ -88,6 +102,8 @@ impl FrameKind {
             0x03 => FrameKind::Stats,
             0x04 => FrameKind::Shutdown,
             0x05 => FrameKind::Update,
+            0x06 => FrameKind::Shard,
+            0x07 => FrameKind::Superstep,
             0x81 => FrameKind::Result,
             0x82 => FrameKind::Backpressure,
             0x83 => FrameKind::InvalidJob,
@@ -96,6 +112,7 @@ impl FrameKind {
             0x86 => FrameKind::Pong,
             0x87 => FrameKind::StatsReply,
             0x88 => FrameKind::ProtocolError,
+            0x89 => FrameKind::Flush,
             _ => return None,
         })
     }
@@ -502,6 +519,224 @@ impl JobResult {
     }
 }
 
+/// A decoded Shard payload: everything a worker needs to become one
+/// rank of a sharded coloring run.
+///
+/// The coordinator ships the *whole* pattern to every worker
+/// (structure-replicated, color-partitioned): BGPC conflict detection
+/// needs complete distance-2 neighborhoods, so replicating the structure
+/// and partitioning only the coloring work is the simplest correct
+/// owner-computes split. The graph travels as checksummed
+/// [`sparse::bin_io`] bytes, same as Submit.
+#[derive(Clone, Debug)]
+pub struct ShardRequest {
+    /// This worker's shard id, `< n_shards`.
+    pub shard: u32,
+    /// Total number of shards in the run.
+    pub n_shards: u32,
+    /// Vertex-to-shard owner array (one entry per vertex, values
+    /// `< n_shards`).
+    pub owners: Vec<u32>,
+    /// The pattern in `sparse::bin_io` format (checksummed).
+    pub graph_bytes: Vec<u8>,
+}
+
+impl ShardRequest {
+    /// Encodes into a Shard payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 * self.owners.len() + self.graph_bytes.len());
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.n_shards.to_le_bytes());
+        out.extend_from_slice(&(self.owners.len() as u64).to_le_bytes());
+        for &o in &self.owners {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&self.graph_bytes);
+        out
+    }
+
+    /// Decodes a Shard payload envelope.
+    pub fn decode(payload: &[u8]) -> Result<ShardRequest, ProtoError> {
+        if payload.len() < 16 {
+            return Err(ProtoError::Malformed(format!(
+                "shard payload too short: {} bytes",
+                payload.len()
+            )));
+        }
+        let shard = u32::from_le_bytes(payload[..4].try_into().expect("4-byte slice"));
+        let n_shards = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte slice"));
+        if n_shards == 0 || shard >= n_shards {
+            return Err(ProtoError::Malformed(format!(
+                "shard id {shard} out of range for {n_shards} shards"
+            )));
+        }
+        let n = u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice"));
+        let n = usize::try_from(n)
+            .map_err(|_| ProtoError::Malformed("owner count exceeds usize".into()))?;
+        let bytes = n
+            .checked_mul(4)
+            .ok_or_else(|| ProtoError::Malformed("owner count overflows".into()))?;
+        if payload.len() < 16 + bytes {
+            return Err(ProtoError::Malformed("owner array truncated".into()));
+        }
+        let owners: Vec<u32> = payload[16..16 + bytes]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        if let Some(&bad) = owners.iter().find(|&&o| o >= n_shards) {
+            return Err(ProtoError::Malformed(format!(
+                "owner id {bad} out of range for {n_shards} shards"
+            )));
+        }
+        Ok(ShardRequest {
+            shard,
+            n_shards,
+            owners,
+            graph_bytes: payload[16 + bytes..].to_vec(),
+        })
+    }
+}
+
+/// A decoded Superstep payload: the coordinator's half of one BSP round.
+#[derive(Clone, Debug)]
+pub struct SuperstepRequest {
+    /// 1-based round number. Round 1 speculatively colors every owned
+    /// vertex; later rounds re-color the conflicts detected against the
+    /// delivered updates.
+    pub superstep: u32,
+    /// Harvest round: instead of coloring, the worker replies with its
+    /// owned `(vertex, color)` assignment so the coordinator can
+    /// assemble the global coloring.
+    pub harvest: bool,
+    /// Boundary colors from the previous round's flushes, routed to this
+    /// shard: `(vertex, color)` pairs for remote vertices this shard is
+    /// interested in.
+    pub updates: Vec<(u32, i32)>,
+}
+
+impl SuperstepRequest {
+    /// Encodes into a Superstep payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13 + 8 * self.updates.len());
+        out.extend_from_slice(&self.superstep.to_le_bytes());
+        out.push(self.harvest as u8);
+        out.extend_from_slice(&(self.updates.len() as u64).to_le_bytes());
+        for &(v, c) in &self.updates {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a Superstep payload.
+    pub fn decode(payload: &[u8]) -> Result<SuperstepRequest, ProtoError> {
+        if payload.len() < 13 {
+            return Err(ProtoError::Malformed(format!(
+                "superstep payload too short: {} bytes",
+                payload.len()
+            )));
+        }
+        let superstep = u32::from_le_bytes(payload[..4].try_into().expect("4-byte slice"));
+        let harvest = match payload[4] {
+            0 => false,
+            1 => true,
+            b => return Err(ProtoError::Malformed(format!("bad harvest byte {b}"))),
+        };
+        let n = u64::from_le_bytes(payload[5..13].try_into().expect("8-byte slice"));
+        let n = usize::try_from(n)
+            .map_err(|_| ProtoError::Malformed("update count exceeds usize".into()))?;
+        let bytes = n
+            .checked_mul(8)
+            .ok_or_else(|| ProtoError::Malformed("update count overflows".into()))?;
+        if payload.len() < 13 + bytes {
+            return Err(ProtoError::Malformed("update list truncated".into()));
+        }
+        let updates = payload[13..13 + bytes]
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    i32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                )
+            })
+            .collect();
+        Ok(SuperstepRequest {
+            superstep,
+            harvest,
+            updates,
+        })
+    }
+}
+
+/// A decoded Flush payload: the worker's half of one BSP round.
+///
+/// For a coloring round, `messages` carries the outgoing boundary
+/// traffic as `(dest_shard, vertex, color)` triples. For a harvest
+/// round it carries the shard's owned assignment as
+/// `(own_shard, vertex, color)`.
+#[derive(Clone, Debug)]
+pub struct FlushReply {
+    /// Vertices colored (or re-colored) this round.
+    pub colored: u32,
+    /// Conflicts detected against the delivered updates (vertices
+    /// re-queued and re-colored this round).
+    pub conflicts: u32,
+    /// Outgoing boundary messages `(dest_shard, vertex, color)`.
+    pub messages: Vec<(u32, u32, i32)>,
+}
+
+impl FlushReply {
+    /// Encodes into a Flush payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 12 * self.messages.len());
+        out.extend_from_slice(&self.colored.to_le_bytes());
+        out.extend_from_slice(&self.conflicts.to_le_bytes());
+        out.extend_from_slice(&(self.messages.len() as u64).to_le_bytes());
+        for &(d, v, c) in &self.messages {
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a Flush payload.
+    pub fn decode(payload: &[u8]) -> Result<FlushReply, ProtoError> {
+        if payload.len() < 16 {
+            return Err(ProtoError::Malformed(format!(
+                "flush payload too short: {} bytes",
+                payload.len()
+            )));
+        }
+        let colored = u32::from_le_bytes(payload[..4].try_into().expect("4-byte slice"));
+        let conflicts = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte slice"));
+        let n = u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice"));
+        let n = usize::try_from(n)
+            .map_err(|_| ProtoError::Malformed("message count exceeds usize".into()))?;
+        let bytes = n
+            .checked_mul(12)
+            .ok_or_else(|| ProtoError::Malformed("message count overflows".into()))?;
+        if payload.len() < 16 + bytes {
+            return Err(ProtoError::Malformed("message list truncated".into()));
+        }
+        let messages = payload[16..16 + bytes]
+            .chunks_exact(12)
+            .map(|c| {
+                (
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                    i32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+                )
+            })
+            .collect();
+        Ok(FlushReply {
+            colored,
+            conflicts,
+            messages,
+        })
+    }
+}
+
 /// Encodes a Backpressure payload (`depth`, `capacity`).
 pub fn encode_backpressure(depth: u32, capacity: u32) -> Vec<u8> {
     let mut out = Vec::with_capacity(8);
@@ -714,6 +949,84 @@ mod tests {
         for cut in 0..enc.len() {
             assert!(JobResult::decode(&enc[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn shard_request_roundtrip_and_garbage() {
+        let req = ShardRequest {
+            shard: 1,
+            n_shards: 4,
+            owners: vec![0, 1, 2, 3, 1],
+            graph_bytes: vec![5, 6, 7],
+        };
+        let back = ShardRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.shard, 1);
+        assert_eq!(back.n_shards, 4);
+        assert_eq!(back.owners, vec![0, 1, 2, 3, 1]);
+        assert_eq!(back.graph_bytes, vec![5, 6, 7]);
+        assert!(ShardRequest::decode(b"").is_err());
+        // shard id out of range
+        let bad = ShardRequest { shard: 4, ..req.clone() };
+        let mut enc = bad.encode();
+        assert!(ShardRequest::decode(&enc).is_err());
+        // owner id out of range
+        let bad = ShardRequest { owners: vec![0, 9], ..req.clone() };
+        assert!(ShardRequest::decode(&bad.encode()).is_err());
+        // truncated owner array
+        enc = req.encode();
+        enc.truncate(18);
+        assert!(ShardRequest::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn superstep_request_roundtrip_and_garbage() {
+        let req = SuperstepRequest {
+            superstep: 3,
+            harvest: false,
+            updates: vec![(7, 0), (9, 12)],
+        };
+        let back = SuperstepRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.superstep, 3);
+        assert!(!back.harvest);
+        assert_eq!(back.updates, vec![(7, 0), (9, 12)]);
+        let h = SuperstepRequest { superstep: 4, harvest: true, updates: vec![] };
+        assert!(SuperstepRequest::decode(&h.encode()).unwrap().harvest);
+        assert!(SuperstepRequest::decode(b"").is_err());
+        let mut enc = req.encode();
+        enc[4] = 9; // bad harvest byte
+        assert!(SuperstepRequest::decode(&enc).is_err());
+        enc = req.encode();
+        enc.truncate(enc.len() - 3);
+        assert!(SuperstepRequest::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn flush_reply_roundtrip_and_garbage() {
+        let r = FlushReply {
+            colored: 5,
+            conflicts: 2,
+            messages: vec![(0, 7, 1), (3, 9, -1)],
+        };
+        let back = FlushReply::decode(&r.encode()).unwrap();
+        assert_eq!(back.colored, 5);
+        assert_eq!(back.conflicts, 2);
+        assert_eq!(back.messages, vec![(0, 7, 1), (3, 9, -1)]);
+        assert!(FlushReply::decode(b"").is_err());
+        let mut enc = r.encode();
+        enc.truncate(enc.len() - 1);
+        assert!(FlushReply::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn shard_frame_kinds_roundtrip() {
+        assert_eq!(FrameKind::from_u8(0x06), Some(FrameKind::Shard));
+        assert_eq!(FrameKind::from_u8(0x07), Some(FrameKind::Superstep));
+        assert_eq!(FrameKind::from_u8(0x89), Some(FrameKind::Flush));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Flush, b"f", 0).unwrap();
+        let (kind, payload) = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, FrameKind::Flush);
+        assert_eq!(payload, b"f");
     }
 
     #[test]

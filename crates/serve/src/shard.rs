@@ -1,0 +1,380 @@
+//! Worker-side shard executor for multi-process sharded coloring.
+//!
+//! A coordinator (see the `dist` crate's `coord` module) installs one
+//! [`ShardWorker`] per daemon connection with a [`ShardRequest`] and then
+//! drives BSP supersteps with [`SuperstepRequest`] frames. The worker
+//! owns the vertices the shipped owner array assigns to its shard id and
+//! follows the speculative color-then-repair loop of the in-process
+//! `dist::DistRunner`, shifted by one round for the wire:
+//!
+//! * **Round 1** speculatively colors every owned *boundary* vertex
+//!   (first-fit against the local view) and flushes the results; owned
+//!   *interior* vertices — whole distance-2 neighborhood on this shard —
+//!   are colored *after* the Flush frame is written, so they overlap
+//!   with the coordinator routing boundary messages (the
+//!   interior/boundary overlap of the distributed frameworks).
+//! * **Round s > 1** first applies the routed remote colors, then
+//!   re-detects conflicts for the vertices colored last round under the
+//!   id-ordered rule (the larger vertex of a conflicting pair loses),
+//!   and re-colors exactly the losers with a jittered color draw
+//!   (`k`-th available, window widening with the round) to break the
+//!   symmetry that makes replicas of a large net collide forever.
+//! * A **harvest** round returns the shard's owned `(vertex, color)`
+//!   assignment instead of coloring.
+//!
+//! Conflict detection is sound because every color a remote distance-2
+//! neighbor has ever taken was flushed to this shard before the round in
+//! which it matters: a vertex re-colored in round `s` can conflict only
+//! with a vertex colored concurrently in round `s`, which round `s + 1`
+//! detects — so a quiescent round (nothing re-colored anywhere) proves
+//! the global coloring valid.
+
+use bgpc::{Color, StampSet, UNCOLORED};
+use graph::BipartiteGraph;
+
+use crate::protocol::{FlushReply, ShardRequest, SuperstepRequest};
+
+/// splitmix64-style hash for the jittered color draw. Must stay in sync
+/// with `dist::bsp` so in-process and sharded runs draw the same jitter.
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x85EBCA6B);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The `k`-th smallest color not in the forbidden set.
+fn kth_available(fb: &StampSet, k: usize) -> Color {
+    let mut col = fb.first_fit_from(0);
+    for _ in 0..k {
+        col = fb.first_fit_from(col + 1);
+    }
+    col
+}
+
+/// One rank of a sharded coloring run, installed on a daemon connection.
+pub struct ShardWorker {
+    shard: u32,
+    graph: BipartiteGraph,
+    owners: Vec<u32>,
+    /// This shard's knowledge of every vertex's color (authoritative for
+    /// owned vertices, last-flushed for remote ones).
+    view: Vec<Color>,
+    /// Owned vertices colored in the previous round, conflict status
+    /// unknown until the next round's updates arrive.
+    pending: Vec<u32>,
+    /// Owned vertices whose whole distance-2 neighborhood is owned —
+    /// they can never conflict and are colored once, after round 1's
+    /// flush is on the wire.
+    interior: Vec<u32>,
+    /// Owned vertices with at least one remote distance-2 neighbor.
+    boundary: Vec<u32>,
+    /// For each owned vertex, the remote shards that must learn its
+    /// color (empty for interior and non-owned vertices).
+    interested: Vec<Vec<u32>>,
+    fb: StampSet,
+    /// Interior coloring deferred until after round 1's reply is
+    /// written; see [`ShardWorker::finish_deferred`].
+    interior_deferred: bool,
+}
+
+impl ShardWorker {
+    /// Builds a worker from an install request: decodes the checksummed
+    /// graph bytes, validates the owner array against it, and
+    /// precomputes the interior/boundary split.
+    pub fn install(req: ShardRequest) -> Result<ShardWorker, String> {
+        let matrix = sparse::bin_io::read_bin(req.graph_bytes.as_slice())
+            .map_err(|e| format!("shard graph bytes: {e}"))?;
+        let graph = BipartiteGraph::try_from_matrix_owned(matrix).map_err(|e| e.to_string())?;
+        let n = graph.n_vertices();
+        if req.owners.len() != n {
+            return Err(format!(
+                "owner array has {} entries for a {}-vertex graph",
+                req.owners.len(),
+                n
+            ));
+        }
+        let mut interested = vec![Vec::new(); n];
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        let mut mark = vec![usize::MAX; req.n_shards as usize];
+        for (v, shards) in interested.iter_mut().enumerate() {
+            if req.owners[v] != req.shard {
+                continue;
+            }
+            for &net in graph.nets(v) {
+                for &u in graph.vtxs(net as usize) {
+                    let r = req.owners[u as usize];
+                    if r != req.shard && mark[r as usize] != v {
+                        mark[r as usize] = v;
+                        shards.push(r);
+                    }
+                }
+            }
+            if shards.is_empty() {
+                interior.push(v as u32);
+            } else {
+                boundary.push(v as u32);
+            }
+        }
+        let fb = StampSet::with_capacity(graph.max_net_size() + 16);
+        Ok(ShardWorker {
+            shard: req.shard,
+            graph,
+            owners: req.owners,
+            view: vec![UNCOLORED; n],
+            pending: Vec::new(),
+            interior,
+            boundary,
+            interested,
+            fb,
+            interior_deferred: false,
+        })
+    }
+
+    /// Runs one superstep and builds the Flush reply. The caller must
+    /// write the reply to the wire and then call
+    /// [`ShardWorker::finish_deferred`] — that ordering is the
+    /// interior/boundary overlap.
+    pub fn superstep(&mut self, req: &SuperstepRequest) -> FlushReply {
+        if req.harvest {
+            // Owned assignment, tagged with our own shard id.
+            let messages = self
+                .owners
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o == self.shard)
+                .map(|(v, _)| (self.shard, v as u32, self.view[v]))
+                .collect();
+            return FlushReply { colored: 0, conflicts: 0, messages };
+        }
+
+        // Deliver the routed remote colors first: conflict detection for
+        // last round's coloring needs them.
+        for &(v, c) in &req.updates {
+            if let Some(slot) = self.view.get_mut(v as usize) {
+                *slot = c;
+            }
+        }
+
+        // Re-queue last round's losers under the id-ordered rule.
+        let g = &self.graph;
+        let mut queue: Vec<u32> = Vec::new();
+        for &w in &self.pending {
+            let wu = w as usize;
+            let cw = self.view[wu];
+            let lost = g.nets(wu).iter().any(|&net| {
+                g.vtxs(net as usize)
+                    .iter()
+                    .any(|&u| u < w && self.view[u as usize] == cw)
+            });
+            if lost {
+                queue.push(w);
+            }
+        }
+        let conflicts = queue.len() as u32;
+        if req.superstep <= 1 {
+            queue = self.boundary.clone();
+            self.interior_deferred = true;
+        }
+
+        // Color the queue with the jittered draw (same symmetry breaker
+        // as dist::bsp): plain first-fit would make every shard's copy
+        // of a large net collide on the same small colors forever.
+        let window = if req.superstep <= 1 {
+            1
+        } else {
+            (req.superstep as usize * 4).min(64)
+        };
+        let mut messages = Vec::new();
+        for &w in &queue {
+            let wu = w as usize;
+            self.fb.advance();
+            for &net in g.nets(wu) {
+                for &u in g.vtxs(net as usize) {
+                    if u != w {
+                        let cu = self.view[u as usize];
+                        if cu != UNCOLORED {
+                            self.fb.insert(cu);
+                        }
+                    }
+                }
+            }
+            let k = if window <= 1 {
+                0
+            } else {
+                (mix(w as u64, req.superstep as u64) % window as u64) as usize
+            };
+            let col = kth_available(&self.fb, k);
+            self.view[wu] = col;
+            for &dest in &self.interested[wu] {
+                messages.push((dest, w, col));
+            }
+        }
+        let colored = queue.len() + if req.superstep <= 1 { self.interior.len() } else { 0 };
+        self.pending = queue;
+        FlushReply { colored: colored as u32, conflicts, messages }
+    }
+
+    /// Colors the interior vertices deferred by round 1 — called after
+    /// the Flush frame is written, so interior work overlaps with the
+    /// coordinator routing boundary messages (the next Superstep frame
+    /// simply waits in the socket buffer). Interior vertices only ever
+    /// see owned colors, so plain first-fit is conflict-free.
+    pub fn finish_deferred(&mut self) {
+        if !self.interior_deferred {
+            return;
+        }
+        self.interior_deferred = false;
+        let g = &self.graph;
+        for i in 0..self.interior.len() {
+            let wu = self.interior[i] as usize;
+            self.fb.advance();
+            for &net in g.nets(wu) {
+                for &u in g.vtxs(net as usize) {
+                    if u as usize != wu {
+                        let cu = self.view[u as usize];
+                        if cu != UNCOLORED {
+                            self.fb.insert(cu);
+                        }
+                    }
+                }
+            }
+            self.view[wu] = self.fb.first_fit_from(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ShardRequest;
+
+    fn graph_bytes(m: &sparse::Csr) -> Vec<u8> {
+        let mut buf = Vec::new();
+        sparse::bin_io::write_bin(&mut buf, m).unwrap();
+        buf
+    }
+
+    fn install(m: &sparse::Csr, owners: Vec<u32>, shard: u32, n_shards: u32) -> ShardWorker {
+        ShardWorker::install(ShardRequest {
+            shard,
+            n_shards,
+            owners,
+            graph_bytes: graph_bytes(m),
+        })
+        .unwrap()
+    }
+
+    /// Drives a full sharded run in-process over `n_shards` workers and
+    /// returns the assembled coloring plus the number of rounds.
+    fn drive(m: &sparse::Csr, owners: &[u32], n_shards: u32) -> (Vec<i32>, usize) {
+        let mut workers: Vec<ShardWorker> = (0..n_shards)
+            .map(|s| install(m, owners.to_vec(), s, n_shards))
+            .collect();
+        let mut inbox: Vec<Vec<(u32, i32)>> = vec![Vec::new(); n_shards as usize];
+        let mut rounds = 0usize;
+        for s in 1..200u32 {
+            let mut colored = 0u32;
+            let mut next: Vec<Vec<(u32, i32)>> = vec![Vec::new(); n_shards as usize];
+            for (r, w) in workers.iter_mut().enumerate() {
+                let req = SuperstepRequest {
+                    superstep: s,
+                    harvest: false,
+                    updates: std::mem::take(&mut inbox[r]),
+                };
+                let reply = w.superstep(&req);
+                w.finish_deferred();
+                colored += reply.colored;
+                for (dest, v, c) in reply.messages {
+                    next[dest as usize].push((v, c));
+                }
+            }
+            inbox = next;
+            if colored == 0 {
+                break;
+            }
+            rounds += 1;
+        }
+        let n = m.ncols();
+        let mut colors = vec![UNCOLORED; n];
+        for w in workers.iter_mut() {
+            let reply = w.superstep(&SuperstepRequest {
+                superstep: 0,
+                harvest: true,
+                updates: vec![],
+            });
+            for (_, v, c) in reply.messages {
+                colors[v as usize] = c;
+            }
+        }
+        (colors, rounds)
+    }
+
+    #[test]
+    fn install_rejects_wrong_owner_length_and_bad_bytes() {
+        let m = sparse::gen::bipartite_uniform(10, 12, 40, 1);
+        let bad = ShardWorker::install(ShardRequest {
+            shard: 0,
+            n_shards: 2,
+            owners: vec![0; 5],
+            graph_bytes: graph_bytes(&m),
+        });
+        assert!(bad.err().unwrap().contains("owner array"));
+        let bad = ShardWorker::install(ShardRequest {
+            shard: 0,
+            n_shards: 2,
+            owners: vec![0; 12],
+            graph_bytes: vec![1, 2, 3],
+        });
+        assert!(bad.err().unwrap().contains("graph bytes"));
+    }
+
+    #[test]
+    fn single_shard_colors_everything_in_one_round() {
+        let m = sparse::gen::bipartite_uniform(30, 40, 300, 1);
+        let g = BipartiteGraph::from_matrix(&m);
+        let owners = vec![0u32; g.n_vertices()];
+        let (colors, rounds) = drive(&m, &owners, 1);
+        bgpc::verify::verify_bgpc(&g, &colors).unwrap();
+        assert_eq!(rounds, 1, "one shard cannot conflict");
+    }
+
+    #[test]
+    fn multi_shard_run_converges_to_a_valid_coloring() {
+        let m = sparse::gen::bipartite_uniform(60, 80, 900, 5);
+        let g = BipartiteGraph::from_matrix(&m);
+        for shards in [2u32, 4, 8] {
+            let owners: Vec<u32> = (0..g.n_vertices() as u32).map(|v| v % shards).collect();
+            let (colors, _rounds) = drive(&m, &owners, shards);
+            bgpc::verify::verify_bgpc(&g, &colors).unwrap();
+        }
+    }
+
+    #[test]
+    fn interior_is_deferred_until_after_the_flush() {
+        // Two disjoint halves split exactly by the partition: every
+        // vertex is interior, so round 1 flushes colored == n with no
+        // messages, and the view fills only after finish_deferred.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![2 * i as u32, 2 * i as u32 + 1]);
+        }
+        for i in 0..5 {
+            rows.push(vec![10 + 2 * i as u32, 10 + 2 * i as u32 + 1]);
+        }
+        let m = sparse::Csr::from_rows(20, &rows);
+        let owners: Vec<u32> = (0..20).map(|v| u32::from(v >= 10)).collect();
+        let mut w = install(&m, owners, 0, 2);
+        let reply = w.superstep(&SuperstepRequest { superstep: 1, harvest: false, updates: vec![] });
+        assert_eq!(reply.colored, 10, "all owned vertices count as colored");
+        assert!(reply.messages.is_empty(), "no boundary, no messages");
+        assert!(w.view[..10].iter().all(|&c| c == UNCOLORED), "interior not yet colored");
+        w.finish_deferred();
+        assert!(w.view[..10].iter().all(|&c| c != UNCOLORED), "interior colored after flush");
+    }
+}

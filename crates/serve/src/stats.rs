@@ -38,6 +38,10 @@ pub struct ServeStats {
     pub worker_panics: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Shard installs accepted (the `Shard` verb).
+    pub shard_installs: AtomicU64,
+    /// Supersteps executed across all installed shards.
+    pub supersteps: AtomicU64,
 }
 
 /// One `(name, value)` row of the stats snapshot.
@@ -71,6 +75,8 @@ impl ServeStats {
             ("invalid_jobs", g(&self.invalid_jobs)),
             ("worker_panics", g(&self.worker_panics)),
             ("connections", g(&self.connections)),
+            ("shard_installs", g(&self.shard_installs)),
+            ("supersteps", g(&self.supersteps)),
         ]
     }
 

@@ -1,0 +1,72 @@
+//! Poison-tolerant mutex helpers.
+//!
+//! The daemon contains panics from job execution (`par::contain`) and
+//! fail-point injection, but a panic that unwinds *while a lock is held*
+//! poisons the mutex, and a subsequent `lock().expect(..)` kills the
+//! next thread to touch it — a handler or the executor — silently
+//! wedging the daemon. None of the daemon's critical sections leave
+//! their protected data torn on unwind (they are short field updates
+//! and queue push/pop pairs whose invariants are restored before any
+//! panic point), so recovering the guard with
+//! [`PoisonError::into_inner`] is sound and keeps the service
+//! answering. The `serve.queue.poison` fail point plus
+//! `tests/poison.rs` prove the recovery end to end.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering the reacquired guard if the mutex was
+/// poisoned while this thread slept.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison while holding the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "the mutex really is poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn wait_recover_survives_poisoning_during_sleep() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = lock_recover(m);
+            while !*g {
+                g = wait_recover(cv, g);
+            }
+            *g
+        });
+        // Poison the mutex from another thread, then flip the flag and
+        // notify — the waiter must come back with a usable guard.
+        let pair3 = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _g = lock_recover(&pair3.0);
+            panic!("poison during the waiter's sleep");
+        })
+        .join();
+        *lock_recover(&pair.0) = true;
+        pair.1.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,74 @@
+//! Mutex-poisoning recovery, proven end to end against a live daemon.
+//!
+//! The `serve.queue.poison` fail point panics *while the admission-queue
+//! lock is held*, poisoning the mutex and killing the handler thread
+//! mid-submit. Before the `lock_recover` conversion the next thread to
+//! touch the queue — every future submit, plus the executor's `pop` —
+//! died on `lock().expect(..)`, silently wedging the daemon. With
+//! recovery in place the daemon must keep admitting, executing and
+//! answering stats as if nothing happened.
+
+use std::time::Duration;
+
+use par::faults::{self, FaultAction};
+use serve::client::encode_graph;
+use serve::{Daemon, JobRequest, Priority, RetryPolicy, ServeClient, ServeConfig};
+
+fn temp_cache(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("serve-poison-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn daemon_survives_a_panic_while_holding_the_queue_lock() {
+    let mut d = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        pool_threads: 2,
+        cache_dir: temp_cache("queue"),
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    })
+    .expect("daemon start");
+    let mut client = ServeClient::new(
+        d.local_addr().to_string(),
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+            jitter_seed: 3,
+        },
+    );
+
+    let m = sparse::gen::bipartite_uniform(120, 100, 900, 11);
+    let g = graph::BipartiteGraph::try_from_matrix(&m).expect("valid pattern");
+    let req = JobRequest {
+        priority: Priority::Normal,
+        deadline_ms: 0,
+        no_cache: true,
+        schedule: "N1-N2".into(),
+        graph_bytes: encode_graph(&m),
+    };
+
+    // First submit dies inside try_submit with the lock held: the
+    // handler thread unwinds, the connection drops, and the queue mutex
+    // is left poisoned. The client's retry lands on a fresh handler
+    // whose lock_recover must shrug the poison off.
+    faults::arm_with("serve.queue.poison", FaultAction::Panic, 1, None);
+    let outcome = client.submit(&req).expect("retry must recover the poisoned queue");
+    faults::disarm("serve.queue.poison");
+    assert!(outcome.attempts > 1, "the first attempt must have died");
+    bgpc::verify::verify_bgpc(&g, &outcome.colors).expect("recovered coloring verifies");
+
+    // The daemon keeps answering on every path that crosses the
+    // poisoned mutex: another submit (try_submit + executor pop), and
+    // stats/ping for good measure.
+    let again = client.submit(&req).expect("daemon still admits after poisoning");
+    bgpc::verify::verify_bgpc(&g, &again.colors).expect("second coloring verifies");
+    assert!(client.ping().is_ok(), "daemon still answers ping");
+    let stats = client.stats().expect("daemon still answers stats");
+    let get = |k: &str| stats.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap_or(0);
+    assert!(get("completed") >= 2, "both submits completed: {stats:?}");
+
+    d.shutdown();
+}

@@ -17,6 +17,10 @@
 #                                 # threads vs a bounded admission queue;
 #                                 # p50/p99 latency, throughput, cache-hit
 #                                 # and shed rates -> BENCH_serve.json
+#   ./scripts/bench.sh --dist     # sharded-coloring scaling (bench_dist):
+#                                 # the coordinator over worker daemons at
+#                                 # 1/2/4/8 shards; wall time, rounds and
+#                                 # message volume -> BENCH_dist.json
 #
 # The coloring modes additionally accept, after the mode flag:
 #   --kernel scalar|simd|auto     # pin the forbidden-set kernel axis
@@ -73,9 +77,21 @@ case "${1:-}" in
     echo "bench: OK (wrote BENCH_serve.json)"
     exit 0
     ;;
+  --dist)
+    echo "== cargo build --release --offline -p dist (bench_dist)"
+    cargo build --release --offline -p dist --bin bench_dist
+    echo "== bench_dist (coordinator over worker daemons, 1/2/4/8 shards)"
+    ./target/release/bench_dist --out BENCH_dist.json
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool BENCH_dist.json >/dev/null
+      echo "dist bench JSON parses"
+    fi
+    echo "bench: OK (wrote BENCH_dist.json)"
+    exit 0
+    ;;
   "" | --quick) ;;
   *)
-    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep|--serve]" \
+    echo "usage: $0 [--quick|--full|--smoke|--trace|--check-deep|--serve|--dist]" \
          "[--kernel K] [--pin] [--kernel-sweep]" >&2
     exit 2
     ;;

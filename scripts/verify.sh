@@ -73,6 +73,15 @@ step_begin "check smoke: --delta incremental-recoloring differential oracle"
 ./target/release/check_smoke --seed "$CHECK_SEED" --cases 120 --delta
 step_end "check-smoke-delta"
 
+step_begin "check smoke: --dist sharded-coloring differential oracle"
+# Shard-count (1/2/4/8) × partitioner (block/cyclic/random) sweeps over
+# randomized instances, colored through the multi-process coordinator
+# against real loopback worker daemons: every run must be non-degraded,
+# verify in original vertex ids, stay within the documented quality
+# bound, and match the in-process single-node baseline's accounting.
+./target/release/check_smoke --seed "$CHECK_SEED" --cases 60 --dist
+step_end "check-smoke-dist"
+
 step_begin "check smoke: --autotune engine-selection sweep"
 # The same oracle standard applied to configs the auto-tuning engine
 # picks: selection must be deterministic, the chosen schedule's name
@@ -197,5 +206,60 @@ SERVE_PID=""
 trap - EXIT
 serve_cleanup
 step_end "serve-smoke"
+
+step_begin "shard smoke: 2-worker sharded coloring, worker kill, degraded fallback"
+# End-to-end check of the multi-process sharded path against real worker
+# processes:
+#   1. boot two `bgpc-cli serve` workers on ephemeral ports;
+#   2. run `bgpc-cli shard` against them and require a clean (verified,
+#      non-degraded) two-shard result;
+#   3. kill -9 one worker and re-run — the coordinator must drop the dead
+#      shard, still produce a verified coloring, and tag the result with
+#      a greppable `degraded:` line while exiting 0.
+SHARD_TMP=$(mktemp -d)
+SHARD_PIDS=()
+shard_cleanup() {
+  for p in "${SHARD_PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$SHARD_TMP"
+}
+trap shard_cleanup EXIT
+for i in 0 1; do
+  ./target/release/bgpc-cli serve --addr 127.0.0.1:0 \
+    --addr-file "$SHARD_TMP/addr$i" --cache-dir "$SHARD_TMP/cache$i" \
+    --threads 1 &
+  SHARD_PIDS+=($!)
+done
+for i in 0 1; do
+  for _ in $(seq 1 100); do
+    [[ -s "$SHARD_TMP/addr$i" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$SHARD_TMP/addr$i" ]]; then
+    echo "verify: FAIL — shard worker $i never wrote its address file" >&2
+    exit 1
+  fi
+done
+WORKERS="$(cat "$SHARD_TMP/addr0"),$(cat "$SHARD_TMP/addr1")"
+CLEAN_OUT=$(./target/release/bgpc-cli shard --workers "$WORKERS" \
+  --dataset coPapersDBLP --scale 0.002 --partition cyclic)
+echo "$CLEAN_OUT" | grep -q "workers=2/2 .* verified=true" \
+  || { echo "verify: FAIL — clean sharded run did not verify on 2/2 workers" >&2; exit 1; }
+if echo "$CLEAN_OUT" | grep -q "^degraded:"; then
+  echo "verify: FAIL — clean sharded run reported a degrade" >&2
+  exit 1
+fi
+echo "-- kill -9 one shard worker (degraded-fallback check)"
+kill -9 "${SHARD_PIDS[1]}"
+wait "${SHARD_PIDS[1]}" 2>/dev/null || true
+DEGRADED_OUT=$(./target/release/bgpc-cli shard --workers "$WORKERS" \
+  --dataset coPapersDBLP --scale 0.002 --partition cyclic)
+echo "$DEGRADED_OUT" | grep -q "verified=true" \
+  || { echo "verify: FAIL — degraded sharded run produced no verified coloring" >&2; exit 1; }
+echo "$DEGRADED_OUT" | grep -q "^degraded:" \
+  || { echo "verify: FAIL — dead worker was not reported on a degraded: line" >&2; exit 1; }
+echo "-- degraded run stayed valid: $(echo "$DEGRADED_OUT" | grep "^degraded:")"
+trap - EXIT
+shard_cleanup
+step_end "shard-smoke"
 
 echo "verify: OK"
